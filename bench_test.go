@@ -1,0 +1,351 @@
+// Benchmarks regenerating the performance-relevant piece of every
+// experiment in EXPERIMENTS.md (the paper is a demo paper with no numeric
+// tables; E1..E10 are the reproducible claims). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The full result tables (accuracy, sensitivity sweeps) come from
+// cmd/vapbench; these benches measure the computational kernels.
+package vap_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"vap"
+	"vap/internal/cluster"
+	"vap/internal/core"
+	"vap/internal/gen"
+	"vap/internal/kde"
+	"vap/internal/query"
+	"vap/internal/reduce"
+	"vap/internal/store"
+	"vap/internal/stream"
+)
+
+// benchData lazily builds one shared dataset + store for all benchmarks.
+var benchData struct {
+	once sync.Once
+	ds   *gen.Dataset
+	st   *store.Store
+	an   *core.Analyzer
+	rows [][]float64
+	dist [][]float64
+}
+
+func setupBench(b *testing.B) {
+	b.Helper()
+	benchData.once.Do(func() {
+		ds := gen.Generate(gen.Config{
+			Seed: 42,
+			Days: 90,
+			Counts: map[gen.Pattern]int{
+				gen.PatternBimodal:      60,
+				gen.PatternEnergySaving: 50,
+				gen.PatternIdle:         30,
+				gen.PatternConstantHigh: 40,
+				gen.PatternSuspicious:   20,
+				gen.PatternEarlyBird:    30,
+			},
+		})
+		st, err := store.Open(store.Options{})
+		if err != nil {
+			panic(err)
+		}
+		if err := ds.LoadInto(st); err != nil {
+			panic(err)
+		}
+		an := core.NewAnalyzer(st)
+		_, _, rows, err := an.Engine().MeterMatrix(query.Selection{}, query.GranDaily, query.AggMean)
+		if err != nil {
+			panic(err)
+		}
+		dist, err := reduce.DistanceMatrix(rows, reduce.MetricPearson)
+		if err != nil {
+			panic(err)
+		}
+		benchData.ds, benchData.st, benchData.an = ds, st, an
+		benchData.rows, benchData.dist = rows, dist
+	})
+}
+
+func benchNoon() int64 { return benchData.ds.Start.Unix() + 30*86400 + 12*3600 }
+
+// BenchmarkPipelineEndToEnd is E1 (Figure 1): generate view C, brush,
+// profile, and compute a shift map, per iteration. MDS keeps the loop
+// tight enough to iterate; BenchmarkTSNE covers the heavy reducer.
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	setupBench(b)
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		view, err := benchData.an.TypicalPatterns(ctx, core.TypicalConfig{
+			Seed: 1, Method: reduce.MethodMDS,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, rows, err := view.SelectBrush(core.Brush{MaxX: 1, MaxY: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := view.Profile(rows); err != nil {
+			b.Fatal(err)
+		}
+		noon := benchNoon()
+		if _, err := benchData.an.ShiftPatterns(core.ShiftConfig{
+			T1: noon, T2: noon + 8*3600, Granularity: query.Gran4Hourly,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKDE and BenchmarkFlowMap are E2 (Figure 2).
+func BenchmarkKDE(b *testing.B) {
+	setupBench(b)
+	noon := benchNoon()
+	pts, err := benchData.an.Engine().DemandSnapshot(query.Selection{}, noon, noon+4*3600)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wpts := make([]kde.WeightedPoint, len(pts))
+	for i, p := range pts {
+		wpts[i] = kde.WeightedPoint{Loc: p.Loc, Weight: p.Weight}
+	}
+	box := benchData.st.Catalog().Bounds().Buffer(0.002)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kde.Estimate(wpts, box, kde.Config{Cols: 96, Rows: 96}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKDEExact(b *testing.B) {
+	setupBench(b)
+	noon := benchNoon()
+	pts, _ := benchData.an.Engine().DemandSnapshot(query.Selection{}, noon, noon+4*3600)
+	wpts := make([]kde.WeightedPoint, len(pts))
+	for i, p := range pts {
+		wpts[i] = kde.WeightedPoint{Loc: p.Loc, Weight: p.Weight}
+	}
+	box := benchData.st.Catalog().Bounds().Buffer(0.002)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kde.Estimate(wpts, box, kde.Config{Cols: 96, Rows: 96, Exact: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlowMap(b *testing.B) {
+	setupBench(b)
+	noon := benchNoon()
+	for i := 0; i < b.N; i++ {
+		if _, err := benchData.an.ShiftPatterns(core.ShiftConfig{
+			T1: noon, T2: noon + 8*3600, Granularity: query.Gran4Hourly,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTSNE / BenchmarkMDS / BenchmarkSMACOF / BenchmarkPCA are E3/E4
+// (Figure 3, S1 step 3).
+func BenchmarkTSNE(b *testing.B) {
+	setupBench(b)
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		if _, err := reduce.TSNE(ctx, benchData.dist, reduce.TSNEConfig{Seed: 1, Iterations: 250}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMDS(b *testing.B) {
+	setupBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := reduce.ClassicalMDS(benchData.dist); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSMACOF(b *testing.B) {
+	setupBench(b)
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		if _, err := reduce.SMACOF(ctx, benchData.dist, reduce.SMACOFConfig{Seed: 1, Iterations: 60}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPCA(b *testing.B) {
+	setupBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := reduce.PCA(benchData.rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistanceMatrixPearson(b *testing.B) {
+	setupBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := reduce.DistanceMatrix(benchData.rows, reduce.MetricPearson); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKMeans is E5 (S1 step 4).
+func BenchmarkKMeans(b *testing.B) {
+	setupBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.KMeans(benchData.rows, cluster.KMeansConfig{
+			K: 5, Seed: 1, Restarts: 5, NormalizeZ: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShiftGranularity is E6 (S2 step 1): full seven-granularity sweep.
+func BenchmarkShiftGranularity(b *testing.B) {
+	setupBench(b)
+	noon := benchNoon()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := benchData.an.GranularitySweep(core.ShiftConfig{
+			T1: noon, T2: noon + 8*3600,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIntensityBand is E7 (S2 step 2).
+func BenchmarkIntensityBand(b *testing.B) {
+	setupBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := benchData.an.Engine().IntensityBand(query.Selection{}, 0.6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamIngest is E8 (S2 step 3): one data-day replay through the
+// incremental tracker per iteration.
+func BenchmarkStreamIngest(b *testing.B) {
+	setupBench(b)
+	box := benchData.st.Catalog().Bounds().Buffer(0.002)
+	feeds := make([]stream.Feed, len(benchData.ds.Customers))
+	for i, c := range benchData.ds.Customers {
+		feeds[i] = stream.Feed{MeterID: c.Meter.ID, Loc: c.Meter.Location, Samples: benchData.ds.Readings[i]}
+	}
+	from := benchData.ds.Start.Unix()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tracker, err := stream.NewTracker(box, 64, 64, 0.004, len(feeds))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rp := &stream.Replayer{Tracker: tracker, Step: 3600}
+		if _, err := rp.Run(context.Background(), feeds, from, from+86400); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(feeds)*24), "readings/op")
+}
+
+// BenchmarkAPI* are E10 (§2.2 REST latency).
+func benchmarkEndpoint(b *testing.B, path string) {
+	setupBench(b)
+	srv := httptest.NewServer(vap.NewHTTPServer(benchData.an, nil))
+	defer srv.Close()
+	client := srv.Client()
+	// Warm the reduction cache so the bench measures steady state.
+	warm, err := client.Get(srv.URL + path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, warm.Body)
+	warm.Body.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get(srv.URL + path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b.Fatalf("status %d for %s", resp.StatusCode, path)
+		}
+	}
+}
+
+func BenchmarkAPICustomers(b *testing.B) { benchmarkEndpoint(b, "/api/customers") }
+func BenchmarkAPISeries(b *testing.B)    { benchmarkEndpoint(b, "/api/series?id=1&granularity=daily") }
+func BenchmarkAPIReduce(b *testing.B)    { benchmarkEndpoint(b, "/api/reduce?method=mds") }
+func BenchmarkAPIFlow(b *testing.B) {
+	setupBench(b)
+	noon := benchNoon()
+	benchmarkEndpoint(b, fmt.Sprintf("/api/flow?t1=%d&t2=%d&granularity=4hourly", noon, noon+8*3600))
+}
+
+// Storage-engine benches (the PostGIS-replacement substrate).
+func BenchmarkStoreAppend(b *testing.B) {
+	st, err := store.Open(store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.PutMeter(store.Meter{ID: 1, Location: vap.Point{Lon: 12.5, Lat: 55.7}, Zone: store.ZoneResidential}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Append(1, store.Sample{TS: int64(i), Value: float64(i % 24)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreRangeScan(b *testing.B) {
+	setupBench(b)
+	from := benchData.ds.Start.Unix()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := benchData.st.Range(1, from, from+30*86400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpatialQuery(b *testing.B) {
+	setupBench(b)
+	box := benchData.st.Catalog().Bounds()
+	c := box.Center()
+	q := vap.BBox{
+		Min: vap.Point{Lon: c.Lon - 0.01, Lat: c.Lat - 0.01},
+		Max: vap.Point{Lon: c.Lon + 0.01, Lat: c.Lat + 0.01},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = benchData.st.Within(q)
+	}
+}
+
+func BenchmarkMeterMatrix(b *testing.B) {
+	setupBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := benchData.an.Engine().MeterMatrix(query.Selection{}, query.GranDaily, query.AggMean); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Command vapd runs the VAP web application: it loads (or generates) a
+// smart-meter dataset, starts the three-layer server, and optionally
+// replays data in near real time for the S2 streaming demo.
+//
+// Usage:
+//
+//	vapd [-addr :8080] [-dir data/] [-seed 42] [-days 365] [-stream] [-interval 10s]
+//
+// With -dir, the store is durable (WAL + snapshots); if the directory is
+// empty a synthetic dataset is generated and snapshotted into it. With
+// -stream, the last 7 days of data are withheld from the initial load and
+// replayed live at -interval per hour of data.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"vap/internal/api"
+	"vap/internal/core"
+	"vap/internal/gen"
+	"vap/internal/store"
+	"vap/internal/stream"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dir := flag.String("dir", "", "durability directory (empty = in-memory)")
+	seed := flag.Int64("seed", 42, "synthetic data seed")
+	days := flag.Int("days", 365, "days of synthetic data")
+	doStream := flag.Bool("stream", false, "replay the last week live (S2 step 3)")
+	interval := flag.Duration("interval", 10*time.Second, "streaming tick interval")
+	flag.Parse()
+
+	st, err := store.Open(store.Options{Dir: *dir})
+	if err != nil {
+		log.Fatalf("open store: %v", err)
+	}
+	defer st.Close()
+
+	var ds *gen.Dataset
+	if st.Stats().Samples == 0 {
+		log.Printf("generating synthetic dataset (seed=%d days=%d)", *seed, *days)
+		ds = gen.Generate(gen.Config{Seed: *seed, Days: *days})
+		cut := len(ds.Readings[0])
+		if *doStream {
+			cut -= 7 * 24 // withhold the last week for live replay
+			if cut < 1 {
+				cut = 1
+			}
+		}
+		for i, c := range ds.Customers {
+			if err := st.PutMeter(c.Meter); err != nil {
+				log.Fatalf("put meter: %v", err)
+			}
+			r := ds.Readings[i]
+			n := cut
+			if n > len(r) {
+				n = len(r)
+			}
+			if _, err := st.AppendBatch(c.Meter.ID, r[:n]); err != nil {
+				log.Fatalf("append: %v", err)
+			}
+		}
+		if *dir != "" {
+			if err := st.Snapshot(); err != nil {
+				log.Printf("snapshot: %v", err)
+			}
+		}
+	} else {
+		log.Printf("loaded existing dataset: %+v", st.Stats())
+	}
+
+	an := core.NewAnalyzer(st)
+	var hub *stream.Hub
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	if *doStream && ds != nil {
+		hub = stream.NewHub()
+		box := st.Catalog().Bounds().Buffer(0.002)
+		const liveBandwidth = 0.004 // degrees, ~300 m at 55°N
+		tracker, err := stream.NewTracker(box, 64, 64, liveBandwidth, len(ds.Customers))
+		if err != nil {
+			log.Fatalf("tracker: %v", err)
+		}
+		feeds := make([]stream.Feed, len(ds.Customers))
+		for i, c := range ds.Customers {
+			feeds[i] = stream.Feed{MeterID: c.Meter.ID, Loc: c.Meter.Location, Samples: ds.Readings[i]}
+		}
+		_, last, _ := st.TimeBounds()
+		from := last + 1
+		to := ds.Start.Unix() + int64(ds.Hours)*3600
+		rp := &stream.Replayer{St: st, Tracker: tracker, Hub: hub, Interval: *interval, Step: 3600}
+		go func() {
+			ticks, err := rp.Run(ctx, feeds, from, to)
+			if err != nil && ctx.Err() == nil {
+				log.Printf("replayer stopped: %v", err)
+			}
+			log.Printf("replayer finished after %d ticks", ticks)
+		}()
+		log.Printf("streaming enabled: replaying %d data-hours every %v", (to-from)/3600, *interval)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: api.NewServer(an, hub).Routes()}
+	go func() {
+		<-ctx.Done()
+		shutCtx, c2 := context.WithTimeout(context.Background(), 3*time.Second)
+		defer c2()
+		_ = srv.Shutdown(shutCtx)
+	}()
+	log.Printf("VAP listening on %s (ui at http://localhost%s/)", *addr, *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("serve: %v", err)
+	}
+}

@@ -1,0 +1,355 @@
+// Package api is VAP's presentation-facing logic layer: "RESTful APIs are
+// implemented to exchange JSON-formatted data between client and server"
+// (paper §2.2). It exposes the catalog, time series, dimension reduction,
+// brushed pattern profiles, shift-pattern flow maps, server-rendered SVG
+// views, and a Server-Sent-Events stream for the near-real-time demo.
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"vap/internal/core"
+	"vap/internal/geo"
+	"vap/internal/kde"
+	"vap/internal/query"
+	"vap/internal/reduce"
+	"vap/internal/store"
+	"vap/internal/stream"
+)
+
+// Server wires the analyzer to HTTP handlers. Reduction results are cached
+// per-parameter so brushing (which hits /api/patterns repeatedly) does not
+// recompute t-SNE.
+type Server struct {
+	an  *core.Analyzer
+	hub *stream.Hub
+
+	mu    sync.Mutex
+	views map[string]*core.TypicalView
+}
+
+// NewServer returns a server over the analyzer. hub may be nil if the
+// streaming endpoint is unused.
+func NewServer(an *core.Analyzer, hub *stream.Hub) *Server {
+	return &Server{an: an, hub: hub, views: make(map[string]*core.TypicalView)}
+}
+
+// Routes registers all endpoints on a new mux.
+func (s *Server) Routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/health", s.handleHealth)
+	mux.HandleFunc("/api/customers", s.handleCustomers)
+	mux.HandleFunc("/api/series", s.handleSeries)
+	mux.HandleFunc("/api/reduce", s.handleReduce)
+	mux.HandleFunc("/api/patterns", s.handlePatterns)
+	mux.HandleFunc("/api/flow", s.handleFlow)
+	mux.HandleFunc("/api/stats", s.handleStats)
+	mux.HandleFunc("/api/stream", s.handleStream)
+	mux.HandleFunc("/view/map.svg", s.handleMapSVG)
+	mux.HandleFunc("/view/series.svg", s.handleSeriesSVG)
+	mux.HandleFunc("/view/scatter.svg", s.handleScatterSVG)
+	mux.HandleFunc("/", s.handleIndex)
+	return mux
+}
+
+// --- helpers ---------------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func qFloat(r *http.Request, key string, def float64) float64 {
+	if v := r.URL.Query().Get(key); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			return f
+		}
+	}
+	return def
+}
+
+func qInt64(r *http.Request, key string, def int64) int64 {
+	if v := r.URL.Query().Get(key); v != "" {
+		if f, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return f
+		}
+	}
+	return def
+}
+
+func qStr(r *http.Request, key, def string) string {
+	if v := r.URL.Query().Get(key); v != "" {
+		return v
+	}
+	return def
+}
+
+// parseSelection reads bbox=minLon,minLat,maxLon,maxLat, zone=..., ids=1,2,3
+// and from/to (Unix seconds).
+func parseSelection(r *http.Request) (query.Selection, error) {
+	var sel query.Selection
+	if bbox := r.URL.Query().Get("bbox"); bbox != "" {
+		parts := strings.Split(bbox, ",")
+		if len(parts) != 4 {
+			return sel, fmt.Errorf("api: bbox wants 4 comma-separated numbers")
+		}
+		var vals [4]float64
+		for i, p := range parts {
+			f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return sel, fmt.Errorf("api: bad bbox component %q", p)
+			}
+			vals[i] = f
+		}
+		box := geo.NewBBox(
+			geo.Point{Lon: vals[0], Lat: vals[1]},
+			geo.Point{Lon: vals[2], Lat: vals[3]})
+		sel.BBox = &box
+	}
+	if zone := r.URL.Query().Get("zone"); zone != "" {
+		sel.Zone = store.ZoneType(zone)
+	}
+	if ids := r.URL.Query().Get("ids"); ids != "" {
+		for _, p := range strings.Split(ids, ",") {
+			id, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+			if err != nil {
+				return sel, fmt.Errorf("api: bad meter id %q", p)
+			}
+			sel.MeterIDs = append(sel.MeterIDs, id)
+		}
+	}
+	sel.From = qInt64(r, "from", 0)
+	sel.To = qInt64(r, "to", 0)
+	return sel, nil
+}
+
+// --- handlers ----------------------------------------------------------------
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "service": "vap"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.an.Store().Stats()
+	first, last, ok := s.an.Store().TimeBounds()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"meters":           st.Meters,
+		"samples":          st.Samples,
+		"compressed_bytes": st.CompressedBytes,
+		"raw_bytes":        st.RawBytes,
+		"compression":      ratio(st.RawBytes, st.CompressedBytes),
+		"data_from":        first,
+		"data_to":          last,
+		"has_data":         ok,
+	})
+}
+
+func ratio(raw, comp int) float64 {
+	if comp == 0 {
+		return 0
+	}
+	return float64(raw) / float64(comp)
+}
+
+func (s *Server) handleCustomers(w http.ResponseWriter, r *http.Request) {
+	sel, err := parseSelection(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ids, err := s.an.Engine().ResolveMeters(sel)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	cat := s.an.Store().Catalog()
+	out := make([]store.Meter, 0, len(ids))
+	for _, id := range ids {
+		if m, ok := cat.Get(id); ok {
+			out = append(out, m)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"count": len(out), "customers": out})
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	id := qInt64(r, "id", 0)
+	if id == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("api: id parameter required"))
+		return
+	}
+	sel, err := parseSelection(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	g, err := query.ParseGranularity(qStr(r, "granularity", "daily"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	buckets, err := s.an.Engine().MeterSeries(id, sel, g, query.AggFunc(qStr(r, "agg", "mean")))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"id": id, "granularity": g, "buckets": buckets})
+}
+
+// reduceView computes (or returns cached) a typical-pattern view for the
+// request's parameters.
+func (s *Server) reduceView(r *http.Request) (*core.TypicalView, error) {
+	sel, err := parseSelection(r)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.TypicalConfig{
+		Selection:       sel,
+		Method:          reduce.Method(qStr(r, "method", "tsne")),
+		Metric:          reduce.Metric(qStr(r, "metric", "pearson")),
+		Granularity:     query.Granularity(qStr(r, "granularity", "daily")),
+		Seed:            qInt64(r, "seed", 42),
+		UseDailyProfile: qStr(r, "profile", "") == "daily",
+	}
+	key := fmt.Sprintf("%v|%s|%s|%s|%d|%v|%s|%d|%d",
+		sel.MeterIDs, sel.Zone, cfg.Method, cfg.Metric, cfg.Seed,
+		cfg.UseDailyProfile, cfg.Granularity, sel.From, sel.To)
+	if sel.BBox != nil {
+		key += fmt.Sprintf("|%v", *sel.BBox)
+	}
+	s.mu.Lock()
+	v, ok := s.views[key]
+	s.mu.Unlock()
+	if ok {
+		return v, nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), 120*time.Second)
+	defer cancel()
+	v, err = s.an.TypicalPatterns(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if len(s.views) > 32 { // crude bound; keys are few in practice
+		s.views = make(map[string]*core.TypicalView)
+	}
+	s.views[key] = v
+	s.mu.Unlock()
+	return v, nil
+}
+
+func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
+	v, err := s.reduceView(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handlePatterns applies a brush (bx0,by0,bx1,by1 in [0,1]) to the reduced
+// view and returns the group profile — the S1 interaction.
+func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
+	v, err := s.reduceView(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	brush := core.Brush{
+		MinX: qFloat(r, "bx0", 0), MinY: qFloat(r, "by0", 0),
+		MaxX: qFloat(r, "bx1", 1), MaxY: qFloat(r, "by1", 1),
+	}
+	ids, rowIdx, err := v.SelectBrush(brush)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	prof, err := v.Profile(rowIdx)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"selected": len(ids),
+		"profile":  prof,
+	})
+}
+
+func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
+	sel, err := parseSelection(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	g, err := query.ParseGranularity(qStr(r, "granularity", "4hourly"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	t1 := qInt64(r, "t1", 0)
+	t2 := qInt64(r, "t2", 0)
+	if t1 == 0 || t2 == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("api: t1 and t2 parameters required"))
+		return
+	}
+	res, err := s.an.ShiftPatterns(core.ShiftConfig{
+		Selection:         sel,
+		T1:                t1,
+		T2:                t2,
+		Granularity:       g,
+		IntensityQuantile: qFloat(r, "quantile", 0),
+		GridCols:          int(qInt64(r, "cols", 96)),
+		GridRows:          int(qInt64(r, "rows", 96)),
+		Kernel:            kde.Kernel(qStr(r, "kernel", "gaussian")),
+		OD:                core.ODMode(qStr(r, "od", "matching")),
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleStream serves Server-Sent Events with the live density summaries.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if s.hub == nil {
+		writeErr(w, http.StatusNotImplemented, fmt.Errorf("api: streaming not enabled"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("api: streaming unsupported by connection"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	ch, cancel := s.hub.Subscribe()
+	defer cancel()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e, ok := <-ch:
+			if !ok {
+				return
+			}
+			payload, _ := json.Marshal(e)
+			fmt.Fprintf(w, "event: density\ndata: %s\n\n", payload)
+			fl.Flush()
+		}
+	}
+}

@@ -1,0 +1,353 @@
+package api
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vap/internal/core"
+	"vap/internal/gen"
+	"vap/internal/store"
+	"vap/internal/stream"
+)
+
+// newTestServer builds a small dataset and an httptest server around it.
+func newTestServer(t *testing.T, hub *stream.Hub) (*httptest.Server, *gen.Dataset) {
+	t.Helper()
+	ds := gen.Generate(gen.Config{
+		Seed: 3,
+		Days: 20,
+		Counts: map[gen.Pattern]int{
+			gen.PatternBimodal:      8,
+			gen.PatternEnergySaving: 8,
+			gen.PatternConstantHigh: 8,
+			gen.PatternEarlyBird:    8,
+		},
+	})
+	st, err := store.Open(store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if err := ds.LoadInto(st); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(core.NewAnalyzer(st), hub).Routes())
+	t.Cleanup(srv.Close)
+	return srv, ds
+}
+
+func getJSON(t *testing.T, url string, out interface{}) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealth(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	var got map[string]string
+	if code := getJSON(t, srv.URL+"/api/health", &got); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if got["status"] != "ok" {
+		t.Errorf("health = %v", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	srv, ds := newTestServer(t, nil)
+	var got map[string]interface{}
+	if code := getJSON(t, srv.URL+"/api/stats", &got); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if int(got["meters"].(float64)) != len(ds.Customers) {
+		t.Errorf("meters = %v, want %d", got["meters"], len(ds.Customers))
+	}
+	if got["compression"].(float64) <= 1 {
+		t.Errorf("compression = %v, want > 1", got["compression"])
+	}
+}
+
+func TestCustomersFilters(t *testing.T) {
+	srv, ds := newTestServer(t, nil)
+	var all struct {
+		Count     int           `json:"count"`
+		Customers []store.Meter `json:"customers"`
+	}
+	if code := getJSON(t, srv.URL+"/api/customers", &all); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if all.Count != len(ds.Customers) {
+		t.Errorf("count = %d, want %d", all.Count, len(ds.Customers))
+	}
+	// Zone filter.
+	var com struct {
+		Count     int           `json:"count"`
+		Customers []store.Meter `json:"customers"`
+	}
+	getJSON(t, srv.URL+"/api/customers?zone=commercial", &com)
+	if com.Count == 0 || com.Count >= all.Count {
+		t.Errorf("commercial count = %d of %d", com.Count, all.Count)
+	}
+	for _, m := range com.Customers {
+		if m.Zone != store.ZoneCommercial {
+			t.Errorf("zone filter leaked %s", m.Zone)
+		}
+	}
+	// ID filter.
+	var two struct {
+		Count int `json:"count"`
+	}
+	getJSON(t, srv.URL+"/api/customers?ids=1,2", &two)
+	if two.Count != 2 {
+		t.Errorf("ids filter count = %d", two.Count)
+	}
+	// Malformed bbox.
+	if code := getJSON(t, srv.URL+"/api/customers?bbox=1,2,3", nil); code != 400 {
+		t.Errorf("bad bbox status = %d", code)
+	}
+	// Empty bbox result.
+	if code := getJSON(t, srv.URL+"/api/customers?bbox=0,0,1,1", nil); code != 404 {
+		t.Errorf("empty bbox status = %d", code)
+	}
+}
+
+func TestSeriesEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	var got struct {
+		Buckets []struct {
+			Start int64   `json:"start"`
+			Value float64 `json:"value"`
+		} `json:"buckets"`
+	}
+	if code := getJSON(t, srv.URL+"/api/series?id=1&granularity=daily", &got); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(got.Buckets) != 20 {
+		t.Errorf("buckets = %d, want 20 days", len(got.Buckets))
+	}
+	if code := getJSON(t, srv.URL+"/api/series", nil); code != 400 {
+		t.Errorf("missing id status = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/api/series?id=1&granularity=decade", nil); code != 400 {
+		t.Errorf("bad granularity status = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/api/series?id=9999", nil); code != 400 {
+		t.Errorf("unknown meter status = %d", code)
+	}
+}
+
+func TestReduceAndPatterns(t *testing.T) {
+	srv, ds := newTestServer(t, nil)
+	var view struct {
+		MeterIDs []int64      `json:"meter_ids"`
+		Points   [][2]float64 `json:"points"`
+	}
+	if code := getJSON(t, srv.URL+"/api/reduce?method=mds", &view); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(view.Points) != len(ds.Customers) || len(view.MeterIDs) != len(view.Points) {
+		t.Fatalf("view shape: %d points, %d ids", len(view.Points), len(view.MeterIDs))
+	}
+	// Full-view brush returns everything.
+	var pat struct {
+		Selected int `json:"selected"`
+		Profile  struct {
+			Label string    `json:"label"`
+			Mean  []float64 `json:"mean"`
+		} `json:"profile"`
+	}
+	if code := getJSON(t, srv.URL+"/api/patterns?method=mds&bx0=0&by0=0&bx1=1&by1=1", &pat); code != 200 {
+		t.Fatalf("patterns status = %d", code)
+	}
+	if pat.Selected != len(ds.Customers) {
+		t.Errorf("selected = %d", pat.Selected)
+	}
+	if len(pat.Profile.Mean) == 0 {
+		t.Error("empty profile mean")
+	}
+	// Out-of-range brush.
+	if code := getJSON(t, srv.URL+"/api/patterns?method=mds&bx0=2&by0=2&bx1=3&by1=3", nil); code != 404 {
+		t.Errorf("empty brush status = %d", code)
+	}
+	// Unknown method.
+	if code := getJSON(t, srv.URL+"/api/reduce?method=umap", nil); code != 400 {
+		t.Errorf("unknown method status = %d", code)
+	}
+}
+
+func TestReduceCaching(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	t0 := time.Now()
+	if code := getJSON(t, srv.URL+"/api/reduce?method=mds", nil); code != 200 {
+		t.Fatal("first reduce failed")
+	}
+	cold := time.Since(t0)
+	t0 = time.Now()
+	getJSON(t, srv.URL+"/api/reduce?method=mds", nil)
+	warm := time.Since(t0)
+	if warm > cold {
+		t.Logf("warm %v vs cold %v (cache may still help under noise)", warm, cold)
+	}
+}
+
+func TestFlowEndpoint(t *testing.T) {
+	srv, ds := newTestServer(t, nil)
+	noon := ds.Start.Unix() + 5*86400 + 12*3600
+	var got struct {
+		Flows   []json.RawMessage `json:"flows"`
+		Summary struct {
+			L1 float64 `json:"l1"`
+		} `json:"summary"`
+		Meters int `json:"meters"`
+	}
+	url := fmt.Sprintf("%s/api/flow?t1=%d&t2=%d&granularity=4hourly", srv.URL, noon, noon+8*3600)
+	if code := getJSON(t, url, &got); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if got.Meters != len(ds.Customers) {
+		t.Errorf("meters = %d", got.Meters)
+	}
+	if got.Summary.L1 <= 0 {
+		t.Errorf("summary L1 = %v", got.Summary.L1)
+	}
+	// Missing anchors.
+	if code := getJSON(t, srv.URL+"/api/flow?granularity=hourly", nil); code != 400 {
+		t.Errorf("missing t1/t2 status = %d", code)
+	}
+}
+
+func TestSVGViews(t *testing.T) {
+	srv, ds := newTestServer(t, nil)
+	noon := ds.Start.Unix() + 5*86400 + 12*3600
+	paths := []string{
+		"/view/map.svg?mode=markers",
+		fmt.Sprintf("/view/map.svg?mode=heat&from=%d&to=%d", noon, noon+4*3600),
+		fmt.Sprintf("/view/map.svg?mode=shift&t1=%d&t2=%d&granularity=4hourly", noon, noon+8*3600),
+		"/view/scatter.svg?method=mds",
+		"/view/scatter.svg?method=mds&bx0=0.2&by0=0.2&bx1=0.8&by1=0.8",
+		"/view/series.svg?granularity=daily",
+	}
+	for _, p := range paths {
+		resp, err := http.Get(srv.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s status = %d: %s", p, resp.StatusCode, body[:min(len(body), 120)])
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "image/svg+xml" {
+			t.Errorf("%s content type = %q", p, ct)
+		}
+		if !strings.HasPrefix(string(body), "<svg") {
+			t.Errorf("%s does not look like SVG", p)
+		}
+	}
+	// Bad mode.
+	resp, _ := http.Get(srv.URL + "/view/map.svg?mode=3d")
+	if resp.StatusCode != 400 {
+		t.Errorf("bad mode status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestIndexPage(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "VAP") {
+		t.Errorf("index page broken: %d", resp.StatusCode)
+	}
+	// Unknown path 404s.
+	resp, _ = http.Get(srv.URL + "/nope")
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("unknown path status = %d", resp.StatusCode)
+	}
+}
+
+func TestStreamEndpointDisabled(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	resp, err := http.Get(srv.URL + "/api/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("stream without hub status = %d", resp.StatusCode)
+	}
+}
+
+func TestStreamEndpointSSE(t *testing.T) {
+	hub := stream.NewHub()
+	srv, _ := newTestServer(t, hub)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	lines := make(chan string, 16)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(srv.URL + "/api/stream")
+		if err != nil {
+			return
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "data: ") {
+				lines <- line
+				return
+			}
+		}
+	}()
+	// Give the subscriber a moment to register, then publish.
+	deadline := time.After(3 * time.Second)
+	published := false
+	for {
+		select {
+		case line := <-lines:
+			if !strings.Contains(line, `"seq":7`) {
+				t.Errorf("sse line = %q", line)
+			}
+			wg.Wait()
+			return
+		case <-deadline:
+			t.Fatal("no SSE event received")
+		default:
+			if !published || hub.Subscribers() > 0 {
+				hub.Publish(stream.Event{Seq: 7, Count: 1})
+				published = true
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+}

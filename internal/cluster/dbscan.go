@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"fmt"
+)
+
+// Noise is the DBSCAN label for points assigned to no cluster.
+const Noise = -1
+
+// DBSCANConfig tunes density-based clustering over a precomputed distance
+// matrix (so it composes with the Pearson distance exactly like the
+// embedding views do).
+type DBSCANConfig struct {
+	Eps    float64 // neighborhood radius in distance units
+	MinPts int     // minimum neighborhood size (including the point itself)
+}
+
+// DBSCAN clusters by density reachability (Ester et al. 1996). It returns
+// one label per point; Noise (-1) marks outliers — useful for surfacing
+// the paper's "suspicious" customers, which scatter away from every
+// cluster under trend-based distances.
+func DBSCAN(dist [][]float64, cfg DBSCANConfig) ([]int, error) {
+	n := len(dist)
+	if n == 0 {
+		return nil, ErrInput
+	}
+	for i := range dist {
+		if len(dist[i]) != n {
+			return nil, fmt.Errorf("cluster: distance row %d has %d cols, want %d", i, len(dist[i]), n)
+		}
+	}
+	if cfg.Eps <= 0 {
+		return nil, fmt.Errorf("cluster: eps must be positive, got %v", cfg.Eps)
+	}
+	if cfg.MinPts < 1 {
+		return nil, fmt.Errorf("cluster: minPts must be >= 1, got %d", cfg.MinPts)
+	}
+	neighbors := func(i int) []int {
+		var out []int
+		for j := 0; j < n; j++ {
+			if dist[i][j] <= cfg.Eps {
+				out = append(out, j) // includes i itself
+			}
+		}
+		return out
+	}
+	const unvisited = -2
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = unvisited
+	}
+	cluster := 0
+	for i := 0; i < n; i++ {
+		if labels[i] != unvisited {
+			continue
+		}
+		nb := neighbors(i)
+		if len(nb) < cfg.MinPts {
+			labels[i] = Noise
+			continue
+		}
+		labels[i] = cluster
+		// Expand: BFS over the density-connected region.
+		queue := append([]int(nil), nb...)
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			if labels[j] == Noise {
+				labels[j] = cluster // border point
+			}
+			if labels[j] != unvisited {
+				continue
+			}
+			labels[j] = cluster
+			jnb := neighbors(j)
+			if len(jnb) >= cfg.MinPts {
+				queue = append(queue, jnb...)
+			}
+		}
+		cluster++
+	}
+	return labels, nil
+}
+
+// ClusterCount returns the number of non-noise clusters in a label slice.
+func ClusterCount(labels []int) int {
+	seen := map[int]bool{}
+	for _, l := range labels {
+		if l >= 0 {
+			seen[l] = true
+		}
+	}
+	return len(seen)
+}
+
+// NoiseCount returns the number of noise-labelled points.
+func NoiseCount(labels []int) int {
+	n := 0
+	for _, l := range labels {
+		if l == Noise {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,500 @@
+// Package core is VAP's primary contribution layer: the two pattern
+// recognition models of paper §2.1 wired to the data layer —
+//
+//   - TypicalPatterns reduces the selected meters' high-dimensional
+//     consumption series to an interactive 2-D view (t-SNE/MDS with
+//     Pearson distance) in which users brush point groups to identify
+//     typical patterns (view C -> view B);
+//   - ShiftPatterns computes the Eq. 3/Eq. 4 demand-shift flow maps
+//     between two time windows at any of the paper's seven temporal
+//     granularities (view A).
+//
+// The package also provides the brushing/selection session model and a
+// heuristic pattern labeller that names brushed groups after the paper's
+// five canonical profiles.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"vap/internal/flow"
+	"vap/internal/geo"
+	"vap/internal/kde"
+	"vap/internal/query"
+	"vap/internal/reduce"
+	"vap/internal/stat"
+	"vap/internal/store"
+)
+
+// Analyzer is the façade over the data layer the presentation layer talks
+// to. It is safe for concurrent use as long as the underlying store is.
+type Analyzer struct {
+	eng *query.Engine
+}
+
+// NewAnalyzer wraps a store.
+func NewAnalyzer(st *store.Store) *Analyzer {
+	return &Analyzer{eng: query.NewEngine(st)}
+}
+
+// Engine exposes the underlying query engine.
+func (a *Analyzer) Engine() *query.Engine { return a.eng }
+
+// Store exposes the underlying store.
+func (a *Analyzer) Store() *store.Store { return a.eng.Store() }
+
+// --- Typical pattern discovery -----------------------------------------
+
+// TypicalConfig parameterizes a typical-pattern analysis run.
+type TypicalConfig struct {
+	Selection query.Selection
+	// Granularity of the feature vectors; daily gives 365-dim yearly
+	// shapes (captures the bimodal winter/summer signature), hourly x
+	// day-profile captures diurnal habits. Default daily.
+	Granularity query.Granularity
+	Aggregate   query.AggFunc // default mean
+	Method      reduce.Method // default t-SNE
+	Metric      reduce.Metric // default Pearson (the paper's choice)
+	Seed        int64
+	// UseDailyProfile folds the series into a 24-dim mean day profile
+	// instead of the full-resolution vector (the "early birds" query
+	// operates on this).
+	UseDailyProfile bool
+}
+
+func (c *TypicalConfig) defaults() {
+	if c.Granularity == "" {
+		c.Granularity = query.GranDaily
+	}
+	if c.Aggregate == "" {
+		c.Aggregate = query.AggMean
+	}
+	if c.Method == "" {
+		c.Method = reduce.MethodTSNE
+	}
+	if c.Metric == "" {
+		c.Metric = reduce.MetricPearson
+	}
+}
+
+// TypicalView is the view-C data: one 2-D point per meter, normalized to
+// the unit square, aligned with MeterIDs.
+type TypicalView struct {
+	MeterIDs []int64          `json:"meter_ids"`
+	Points   reduce.Embedding `json:"points"`
+	Method   reduce.Method    `json:"method"`
+	Metric   reduce.Metric    `json:"metric"`
+	FeatDim  int              `json:"feature_dim"`
+	rows     [][]float64      // retained for selection profiling
+	times    []int64
+	gran     query.Granularity
+}
+
+// Rows returns the feature matrix backing the view (row i belongs to
+// MeterIDs[i]).
+func (v *TypicalView) Rows() [][]float64 { return v.rows }
+
+// TypicalPatterns runs the pipeline: select meters, build the feature
+// matrix, reduce to 2-D.
+func (a *Analyzer) TypicalPatterns(ctx context.Context, cfg TypicalConfig) (*TypicalView, error) {
+	cfg.defaults()
+	ids, times, rows, err := a.eng.MeterMatrix(cfg.Selection, cfg.Granularity, cfg.Aggregate)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.UseDailyProfile {
+		rows, err = dailyProfiles(a.eng, ids, cfg.Selection)
+		if err != nil {
+			return nil, err
+		}
+		times = nil
+	}
+	emb, err := reduce.Reduce(ctx, rows, cfg.Method, cfg.Metric, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	emb.Normalize01()
+	dim := 0
+	if len(rows) > 0 {
+		dim = len(rows[0])
+	}
+	return &TypicalView{
+		MeterIDs: ids, Points: emb, Method: cfg.Method, Metric: cfg.Metric,
+		FeatDim: dim, rows: rows, times: times, gran: cfg.Granularity,
+	}, nil
+}
+
+func dailyProfiles(eng *query.Engine, ids []int64, sel query.Selection) ([][]float64, error) {
+	rows := make([][]float64, len(ids))
+	for i, id := range ids {
+		s := sel
+		s.MeterIDs = []int64{id}
+		buckets, err := eng.MeterSeries(id, s, query.GranHourly, query.AggMean)
+		if err != nil {
+			return nil, err
+		}
+		var sums, counts [24]float64
+		for _, b := range buckets {
+			h := int(b.Start % 86400 / 3600)
+			sums[h] += b.Value
+			counts[h]++
+		}
+		row := make([]float64, 24)
+		for h := 0; h < 24; h++ {
+			if counts[h] > 0 {
+				row[h] = sums[h] / counts[h]
+			}
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// --- Brushing / selection ------------------------------------------------
+
+// Brush is a rectangular selection in the normalized embedding space of
+// view C (the click-and-drag interaction of the demo).
+type Brush struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Contains reports whether the point lies in the brush.
+func (b Brush) Contains(p [2]float64) bool {
+	return p[0] >= b.MinX && p[0] <= b.MaxX && p[1] >= b.MinY && p[1] <= b.MaxY
+}
+
+// ErrEmptyBrush is returned when a brush selects no points.
+var ErrEmptyBrush = errors.New("core: brush selects no points")
+
+// SelectBrush returns the meter IDs whose embedding points fall inside the
+// brush, together with their row indexes in the view.
+func (v *TypicalView) SelectBrush(b Brush) (ids []int64, rowIdx []int, err error) {
+	for i, p := range v.Points {
+		if b.Contains(p) {
+			ids = append(ids, v.MeterIDs[i])
+			rowIdx = append(rowIdx, i)
+		}
+	}
+	if len(ids) == 0 {
+		return nil, nil, ErrEmptyBrush
+	}
+	return ids, rowIdx, nil
+}
+
+// GroupProfile is view B's content: the aggregated consumption pattern of a
+// brushed group plus the heuristic pattern label.
+type GroupProfile struct {
+	MeterIDs []int64      `json:"meter_ids"`
+	Mean     []float64    `json:"mean"`  // mean feature vector of the group
+	Times    []int64      `json:"times"` // bucket starts (nil for day profiles)
+	Label    PatternLabel `json:"label"`
+}
+
+// Profile aggregates the brushed rows into the group's mean pattern and
+// labels it.
+func (v *TypicalView) Profile(rowIdx []int) (*GroupProfile, error) {
+	if len(rowIdx) == 0 {
+		return nil, ErrEmptyBrush
+	}
+	dim := len(v.rows[rowIdx[0]])
+	mean := make([]float64, dim)
+	ids := make([]int64, 0, len(rowIdx))
+	for _, r := range rowIdx {
+		ids = append(ids, v.MeterIDs[r])
+		for j, x := range v.rows[r] {
+			mean[j] += x
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(rowIdx))
+	}
+	return &GroupProfile{
+		MeterIDs: ids, Mean: mean, Times: v.times,
+		Label: ClassifyProfile(mean, v.gran),
+	}, nil
+}
+
+// --- Pattern labelling ----------------------------------------------------
+
+// PatternLabel names a profile after the paper's five canonical patterns.
+type PatternLabel string
+
+// The five Figure 3 labels plus the S1 early-bird cohort.
+const (
+	LabelBimodal      PatternLabel = "bimodal"
+	LabelEnergySaving PatternLabel = "energy-saving"
+	LabelIdle         PatternLabel = "idle"
+	LabelConstantHigh PatternLabel = "constant-high"
+	LabelSuspicious   PatternLabel = "suspicious"
+	LabelEarlyBird    PatternLabel = "early-bird"
+	LabelUnknown      PatternLabel = "unknown"
+)
+
+// ClassifyProfile heuristically labels a mean consumption profile. The
+// rules mirror how the paper's authors interpret the brushed groups:
+// level (idle vs constant-high), variability (suspicious), seasonal
+// bimodality (winter+summer humps), and morning-peak timing (early birds).
+func ClassifyProfile(mean []float64, gran query.Granularity) PatternLabel {
+	if len(mean) == 0 {
+		return LabelUnknown
+	}
+	level := stat.Mean(mean)
+	sd := stat.StdDev(mean)
+	switch {
+	case level < 0.12:
+		return LabelIdle
+	case level > 2.2 && sd/math.Max(level, 1e-12) < 0.25:
+		return LabelConstantHigh
+	}
+	cv := sd / math.Max(level, 1e-12)
+	if len(mean) == 24 {
+		// Day profile: peak-hour logic.
+		peak := argmax(mean)
+		switch {
+		case peak >= 5 && peak <= 7:
+			return LabelEarlyBird
+		case cv > 1.0:
+			return LabelSuspicious
+		case level < 0.45:
+			return LabelEnergySaving
+		default:
+			return LabelBimodal // evening-peaked household default
+		}
+	}
+	// Long profile (daily over a year): check seasonal bimodality by
+	// comparing winter+summer mass to spring+autumn mass.
+	if gran == query.GranDaily && len(mean) >= 360 {
+		winterSummer, springAutumn := 0.0, 0.0
+		var wsN, saN int
+		for d, v := range mean {
+			doy := d % 365
+			switch {
+			case doy < 60 || doy >= 335 || (doy >= 152 && doy < 244):
+				winterSummer += v
+				wsN++
+			default:
+				springAutumn += v
+				saN++
+			}
+		}
+		if wsN > 0 && saN > 0 {
+			ratio := (winterSummer / float64(wsN)) / math.Max(springAutumn/float64(saN), 1e-12)
+			if ratio > 1.25 {
+				return LabelBimodal
+			}
+		}
+	}
+	switch {
+	case cv > 0.8:
+		return LabelSuspicious
+	case level < 0.45:
+		return LabelEnergySaving
+	default:
+		return LabelUnknown
+	}
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// --- Shift pattern discovery ----------------------------------------------
+
+// ShiftConfig parameterizes a shift analysis between two windows.
+type ShiftConfig struct {
+	Selection query.Selection
+	// T1/T2 are the two bucket anchors; each window is
+	// [Granularity.Truncate(T), Granularity.Next(T)).
+	T1, T2      int64
+	Granularity query.Granularity
+	// IntensityQuantile keeps only meters at or above this total-consumption
+	// quantile (0 disables; S2 sweeps 0.30..0.90).
+	IntensityQuantile float64
+	// KDE controls.
+	GridCols, GridRows int
+	Bandwidth          float64
+	Kernel             kde.Kernel
+	// Flow extraction.
+	OD ODMode
+}
+
+// ODMode selects the flow representation.
+type ODMode string
+
+// Flow representations.
+const (
+	ODGradient ODMode = "gradient"
+	ODMatching ODMode = "matching"
+)
+
+// ShiftResult is view A's analytical payload.
+type ShiftResult struct {
+	Box      geo.BBox      `json:"box"`
+	T1Window [2]int64      `json:"t1_window"`
+	T2Window [2]int64      `json:"t2_window"`
+	Density1 *kde.Field    `json:"-"`
+	Density2 *kde.Field    `json:"-"`
+	Shift    *kde.Field    `json:"-"`
+	Flows    []flow.Vector `json:"flows"`
+	Summary  flow.Summary  `json:"summary"`
+	Meters   int           `json:"meters"`
+}
+
+// ShiftPatterns computes the Figure 2 pipeline: two density-strength maps
+// (Eq. 3) and their difference (Eq. 4), plus renderable flows.
+func (a *Analyzer) ShiftPatterns(cfg ShiftConfig) (*ShiftResult, error) {
+	if cfg.Granularity == "" {
+		cfg.Granularity = query.GranHourly
+	}
+	if cfg.Kernel == "" {
+		cfg.Kernel = kde.KernelGaussian
+	}
+	if cfg.OD == "" {
+		cfg.OD = ODMatching
+	}
+	g := cfg.Granularity
+	t1a, t1b := g.Truncate(cfg.T1), g.Next(cfg.T1)
+	t2a, t2b := g.Truncate(cfg.T2), g.Next(cfg.T2)
+	if t1a == t2a {
+		return nil, fmt.Errorf("core: T1 and T2 fall in the same %s bucket", g)
+	}
+	sel := cfg.Selection
+	if cfg.IntensityQuantile > 0 {
+		ids, err := a.eng.IntensityBand(sel, cfg.IntensityQuantile)
+		if err != nil {
+			return nil, err
+		}
+		sel.MeterIDs = ids
+	}
+	pts1, err := a.demand(sel, t1a, t1b)
+	if err != nil {
+		return nil, err
+	}
+	pts2, err := a.demand(sel, t2a, t2b)
+	if err != nil {
+		return nil, err
+	}
+	box := a.Store().Catalog().Bounds().Buffer(0.002)
+	kcfg := kde.Config{Cols: cfg.GridCols, Rows: cfg.GridRows, Bandwidth: cfg.Bandwidth, Kernel: cfg.Kernel}
+	// Use one shared bandwidth so the two maps are comparable.
+	if kcfg.Bandwidth <= 0 {
+		kcfg.Bandwidth = kde.SilvermanBandwidth(append(append([]kde.WeightedPoint{}, pts1...), pts2...))
+	}
+	d1, err := kde.Estimate(pts1, box, kcfg)
+	if err != nil {
+		return nil, err
+	}
+	d2, err := kde.Estimate(pts2, box, kcfg)
+	if err != nil {
+		return nil, err
+	}
+	shift, err := flow.Shift(d1, d2)
+	if err != nil {
+		return nil, err
+	}
+	var vectors []flow.Vector
+	if cfg.OD == ODGradient {
+		vectors = flow.GradientField(shift, 6, 0.25)
+	} else {
+		vectors = flow.ExtractOD(shift, flow.ODConfig{})
+	}
+	return &ShiftResult{
+		Box:      box,
+		T1Window: [2]int64{t1a, t1b},
+		T2Window: [2]int64{t2a, t2b},
+		Density1: d1, Density2: d2, Shift: shift,
+		Flows:   vectors,
+		Summary: flow.Summarize(shift),
+		Meters:  len(pts1),
+	}, nil
+}
+
+// demand returns a snapshot whose weights are rescaled to unit total mass.
+// DemandSnapshot normalizes each window's weights into [0,1] independently,
+// which is right for a standalone heat map but makes two windows'
+// densities incomparable in Eq. 4 (one window's field can dominate the
+// other everywhere, leaving the shift one-signed). Fixing both snapshots
+// to the same total mass makes the difference a pure redistribution
+// signal — where high demand moved, the Figure 2 semantics.
+func (a *Analyzer) demand(sel query.Selection, from, to int64) ([]kde.WeightedPoint, error) {
+	dps, err := a.eng.DemandSnapshot(sel, from, to)
+	if err != nil {
+		return nil, err
+	}
+	total := 0.0
+	for _, d := range dps {
+		total += d.Weight
+	}
+	out := make([]kde.WeightedPoint, len(dps))
+	for i, d := range dps {
+		w := d.Weight
+		if total > 0 {
+			w /= total
+		}
+		out[i] = kde.WeightedPoint{Loc: d.Loc, Weight: w}
+	}
+	return out, nil
+}
+
+// GranularitySweep runs ShiftPatterns for every granularity (S2 step 1) at
+// the same anchor instants and returns the shift summaries keyed by
+// granularity, in AllGranularities order.
+func (a *Analyzer) GranularitySweep(base ShiftConfig) ([]query.Granularity, []flow.Summary, error) {
+	var gs []query.Granularity
+	var sums []flow.Summary
+	for _, g := range query.AllGranularities {
+		cfg := base
+		cfg.Granularity = g
+		res, err := a.ShiftPatterns(cfg)
+		if err != nil {
+			// Coarse granularities can merge T1 and T2 into one bucket;
+			// that is a meaningful sensitivity result, not a failure.
+			if isSameBucket(err) {
+				gs = append(gs, g)
+				sums = append(sums, flow.Summary{})
+				continue
+			}
+			return nil, nil, err
+		}
+		gs = append(gs, g)
+		sums = append(sums, res.Summary)
+	}
+	return gs, sums, nil
+}
+
+func isSameBucket(err error) bool {
+	return err != nil && containsStr(err.Error(), "same") && containsStr(err.Error(), "bucket")
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// IntensitySweep runs ShiftPatterns over intensity quantiles (S2 step 2).
+func (a *Analyzer) IntensitySweep(base ShiftConfig, quantiles []float64) ([]flow.Summary, error) {
+	out := make([]flow.Summary, 0, len(quantiles))
+	for _, q := range quantiles {
+		cfg := base
+		cfg.IntensityQuantile = q
+		res, err := a.ShiftPatterns(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res.Summary)
+	}
+	return out, nil
+}

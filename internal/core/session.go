@@ -1,0 +1,182 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Session models the paper's iterative exploration workflow: a user keeps
+// several named brush selections alive over one reduced view, compares
+// their profiles, and refines them ("This is an iterative process of
+// discovering knowledge from the data and refining parameters of the
+// models", §2). Sessions are safe for concurrent use (the web UI may
+// issue overlapping requests).
+type Session struct {
+	mu      sync.RWMutex
+	view    *TypicalView
+	brushes map[string]Brush
+}
+
+// NewSession starts a session over a reduced view.
+func NewSession(view *TypicalView) *Session {
+	return &Session{view: view, brushes: make(map[string]Brush)}
+}
+
+// View returns the session's underlying view.
+func (s *Session) View() *TypicalView { return s.view }
+
+// SetBrush stores or replaces a named brush. Empty names are rejected.
+func (s *Session) SetBrush(name string, b Brush) error {
+	if name == "" {
+		return fmt.Errorf("core: brush name must be non-empty")
+	}
+	if b.MaxX < b.MinX || b.MaxY < b.MinY {
+		return fmt.Errorf("core: inverted brush %+v", b)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.brushes[name] = b
+	return nil
+}
+
+// RemoveBrush deletes a named brush; it reports whether it existed.
+func (s *Session) RemoveBrush(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.brushes[name]
+	delete(s.brushes, name)
+	return ok
+}
+
+// BrushNames returns the stored brush names, sorted.
+func (s *Session) BrushNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.brushes))
+	for n := range s.brushes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Group is a named brush resolved against the view.
+type Group struct {
+	Name    string        `json:"name"`
+	Brush   Brush         `json:"brush"`
+	Profile *GroupProfile `json:"profile"`
+}
+
+// Resolve evaluates one named brush into its group profile.
+func (s *Session) Resolve(name string) (*Group, error) {
+	s.mu.RLock()
+	b, ok := s.brushes[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown brush %q", name)
+	}
+	_, rowIdx, err := s.view.SelectBrush(b)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := s.view.Profile(rowIdx)
+	if err != nil {
+		return nil, err
+	}
+	return &Group{Name: name, Brush: b, Profile: prof}, nil
+}
+
+// ResolveAll evaluates every brush, skipping empty selections, ordered by
+// name.
+func (s *Session) ResolveAll() []*Group {
+	var out []*Group
+	for _, name := range s.BrushNames() {
+		g, err := s.Resolve(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// Coverage reports how much of the view the session's brushes explain:
+// the fraction of points inside at least one brush, and the fraction in
+// more than one (overlap the user may want to resolve).
+func (s *Session) Coverage() (covered, overlapping float64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := len(s.view.Points)
+	if n == 0 {
+		return 0, 0
+	}
+	cov, over := 0, 0
+	for _, p := range s.view.Points {
+		hits := 0
+		for _, b := range s.brushes {
+			if b.Contains(p) {
+				hits++
+			}
+		}
+		if hits >= 1 {
+			cov++
+		}
+		if hits >= 2 {
+			over++
+		}
+	}
+	return float64(cov) / float64(n), float64(over) / float64(n)
+}
+
+// Labels assigns each view point the name of the first brush containing
+// it (in sorted-name order), or "" for unbrushed points — the flattened
+// segmentation a session produces.
+func (s *Session) Labels() []string {
+	names := s.BrushNames()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, len(s.view.Points))
+	for i, p := range s.view.Points {
+		for _, name := range names {
+			if s.brushes[name].Contains(p) {
+				out[i] = name
+				break
+			}
+		}
+	}
+	return out
+}
+
+// sessionState is the serialized form of a session's brushes.
+type sessionState struct {
+	Brushes map[string][4]float64 `json:"brushes"`
+}
+
+// MarshalJSON serializes the brush set (the view itself is reproducible
+// from its parameters and is not embedded).
+func (s *Session) MarshalJSON() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := sessionState{Brushes: make(map[string][4]float64, len(s.brushes))}
+	for n, b := range s.brushes {
+		st.Brushes[n] = [4]float64{b.MinX, b.MinY, b.MaxX, b.MaxY}
+	}
+	return json.Marshal(st)
+}
+
+// UnmarshalJSON restores the brush set into an existing session.
+func (s *Session) UnmarshalJSON(data []byte) error {
+	var st sessionState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.brushes = make(map[string]Brush, len(st.Brushes))
+	for n, v := range st.Brushes {
+		s.brushes[n] = Brush{MinX: v[0], MinY: v[1], MaxX: v[2], MaxY: v[3]}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"vap/internal/query"
+	"vap/internal/reduce"
+)
+
+// sessionView builds a tiny deterministic view: 4 points at the unit
+// square corners with simple day profiles.
+func sessionView() *TypicalView {
+	return &TypicalView{
+		MeterIDs: []int64{1, 2, 3, 4},
+		Points: reduce.Embedding{
+			{0.1, 0.1}, {0.9, 0.1}, {0.1, 0.9}, {0.9, 0.9},
+		},
+		rows: [][]float64{
+			{1, 1, 1}, {2, 2, 2}, {3, 3, 3}, {4, 4, 4},
+		},
+		gran: query.GranDaily,
+	}
+}
+
+func TestSessionBrushCRUD(t *testing.T) {
+	s := NewSession(sessionView())
+	if err := s.SetBrush("left", Brush{MaxX: 0.5, MaxY: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetBrush("", Brush{}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if err := s.SetBrush("bad", Brush{MinX: 1, MaxX: 0}); err == nil {
+		t.Error("inverted brush should fail")
+	}
+	if got := s.BrushNames(); len(got) != 1 || got[0] != "left" {
+		t.Fatalf("names = %v", got)
+	}
+	if !s.RemoveBrush("left") {
+		t.Error("remove failed")
+	}
+	if s.RemoveBrush("left") {
+		t.Error("double remove should fail")
+	}
+}
+
+func TestSessionResolve(t *testing.T) {
+	s := NewSession(sessionView())
+	_ = s.SetBrush("bottom", Brush{MaxX: 1, MaxY: 0.5})
+	g, err := s.Resolve("bottom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Profile.MeterIDs) != 2 {
+		t.Fatalf("bottom group = %v", g.Profile.MeterIDs)
+	}
+	// Mean of rows {1,1,1} and {2,2,2}.
+	if g.Profile.Mean[0] != 1.5 {
+		t.Errorf("mean = %v", g.Profile.Mean)
+	}
+	if _, err := s.Resolve("nope"); err == nil {
+		t.Error("unknown brush should fail")
+	}
+	// A brush selecting nothing errors on resolve.
+	_ = s.SetBrush("empty", Brush{MinX: 0.4, MinY: 0.4, MaxX: 0.45, MaxY: 0.45})
+	if _, err := s.Resolve("empty"); err == nil {
+		t.Error("empty brush should fail to resolve")
+	}
+}
+
+func TestSessionResolveAllSkipsEmpty(t *testing.T) {
+	s := NewSession(sessionView())
+	_ = s.SetBrush("a", Brush{MaxX: 0.5, MaxY: 1})
+	_ = s.SetBrush("b", Brush{MinX: 0.45, MinY: 0.45, MaxX: 0.5, MaxY: 0.5}) // empty
+	groups := s.ResolveAll()
+	if len(groups) != 1 || groups[0].Name != "a" {
+		t.Fatalf("groups = %+v", groups)
+	}
+}
+
+func TestSessionCoverageAndLabels(t *testing.T) {
+	s := NewSession(sessionView())
+	_ = s.SetBrush("left", Brush{MaxX: 0.5, MaxY: 1})
+	_ = s.SetBrush("bottom", Brush{MaxX: 1, MaxY: 0.5})
+	covered, overlapping := s.Coverage()
+	// left covers points 0,2; bottom covers 0,1 -> covered 3/4, overlap 1/4.
+	if covered != 0.75 {
+		t.Errorf("covered = %v, want 0.75", covered)
+	}
+	if overlapping != 0.25 {
+		t.Errorf("overlapping = %v, want 0.25", overlapping)
+	}
+	labels := s.Labels()
+	// Name order: bottom < left. Point 0 is in both -> "bottom" wins.
+	want := []string{"bottom", "bottom", "left", ""}
+	for i, w := range want {
+		if labels[i] != w {
+			t.Fatalf("labels = %v, want %v", labels, want)
+		}
+	}
+}
+
+func TestSessionJSONRoundTrip(t *testing.T) {
+	s := NewSession(sessionView())
+	_ = s.SetBrush("g1", Brush{MinX: 0.1, MinY: 0.2, MaxX: 0.3, MaxY: 0.4})
+	_ = s.SetBrush("g2", Brush{MaxX: 1, MaxY: 1})
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewSession(sessionView())
+	if err := json.Unmarshal(data, s2); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.BrushNames(); len(got) != 2 {
+		t.Fatalf("restored names = %v", got)
+	}
+	g, err := s2.Resolve("g2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Profile.MeterIDs) != 4 {
+		t.Fatalf("restored g2 selects %d", len(g.Profile.MeterIDs))
+	}
+}
+
+func TestSessionConcurrentUse(t *testing.T) {
+	s := NewSession(sessionView())
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			names := []string{"a", "b", "c", "d"}
+			for i := 0; i < 200; i++ {
+				name := names[(w+i)%4]
+				_ = s.SetBrush(name, Brush{MaxX: 1, MaxY: 1})
+				_, _ = s.Resolve(name)
+				s.Coverage()
+				s.Labels()
+				if i%10 == 0 {
+					s.RemoveBrush(name)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

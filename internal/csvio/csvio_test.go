@@ -1,0 +1,171 @@
+package csvio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vap/internal/geo"
+	"vap/internal/store"
+)
+
+func sampleMeters() []store.Meter {
+	return []store.Meter{
+		{ID: 1, Location: geo.Point{Lon: 12.5, Lat: 55.7}, Zone: store.ZoneResidential,
+			Labels: map[string]string{"pattern": "bimodal"}},
+		{ID: 2, Location: geo.Point{Lon: 12.6, Lat: 55.8}, Zone: store.ZoneCommercial},
+	}
+}
+
+func TestMetersRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMeters(&buf, sampleMeters()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMeters(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("meters = %d", len(got))
+	}
+	if got[0].ID != 1 || got[0].Zone != store.ZoneResidential {
+		t.Errorf("meter 0 = %+v", got[0])
+	}
+	if got[0].Labels["pattern"] != "bimodal" {
+		t.Errorf("pattern label lost: %v", got[0].Labels)
+	}
+	if got[1].Labels != nil {
+		t.Errorf("empty pattern should not create labels: %v", got[1].Labels)
+	}
+	if got[0].Location.DistanceTo(geo.Point{Lon: 12.5, Lat: 55.7}) > 1 {
+		t.Errorf("location drifted: %v", got[0].Location)
+	}
+}
+
+func TestReadMetersErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong,header,row,x\n1,12.5,55.7,residential",
+		"meter_id,lon,lat,zone\nabc,12.5,55.7,residential",
+		"meter_id,lon,lat,zone\n1,999,55.7,residential",
+		"meter_id,lon,lat,zone\n1,notanumber,55.7,residential",
+	}
+	for i, c := range cases {
+		if _, err := ReadMeters(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestReadingsRoundTrip(t *testing.T) {
+	in := []Reading{
+		{MeterID: 1, Sample: store.Sample{TS: 100, Value: 1.5}},
+		{MeterID: 1, Sample: store.Sample{TS: 200, Value: 2.25}},
+		{MeterID: 2, Sample: store.Sample{TS: 100, Value: 0.75}},
+	}
+	var buf bytes.Buffer
+	if err := WriteReadings(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReadings(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("readings = %d", len(got))
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Errorf("reading %d = %+v, want %+v", i, got[i], in[i])
+		}
+	}
+}
+
+func TestReadReadingsErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"meter,time,value\n1,100,1.5",
+		"meter_id,ts,kwh\nx,100,1.5",
+		"meter_id,ts,kwh\n1,y,1.5",
+		"meter_id,ts,kwh\n1,100,z",
+		"meter_id,ts,kwh\n1,100", // wrong field count
+	}
+	for i, c := range cases {
+		if _, err := ReadReadings(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestImport(t *testing.T) {
+	st, err := store.Open(store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	readings := []Reading{
+		// Out of file order and containing a duplicate timestamp.
+		{MeterID: 1, Sample: store.Sample{TS: 200, Value: 2}},
+		{MeterID: 1, Sample: store.Sample{TS: 100, Value: 1}},
+		{MeterID: 1, Sample: store.Sample{TS: 200, Value: 99}}, // dup: skipped
+		{MeterID: 2, Sample: store.Sample{TS: 50, Value: 5}},
+		{MeterID: 7, Sample: store.Sample{TS: 1, Value: 1}}, // unknown meter
+	}
+	rep, err := Import(st, sampleMeters(), readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Meters != 2 {
+		t.Errorf("meters imported = %d", rep.Meters)
+	}
+	if rep.Readings != 3 {
+		t.Errorf("readings imported = %d, want 3", rep.Readings)
+	}
+	if rep.Skipped != 2 {
+		t.Errorf("skipped = %d, want 2 (dup + unknown meter)", rep.Skipped)
+	}
+	got, err := st.Range(1, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].TS != 100 || got[1].TS != 200 || got[1].Value != 2 {
+		t.Fatalf("imported series = %v", got)
+	}
+}
+
+func TestImportThroughStoreAndBack(t *testing.T) {
+	// Full cycle: write CSV, read, import, export again.
+	st, _ := store.Open(store.Options{})
+	defer st.Close()
+	meters := sampleMeters()
+	readings := []Reading{
+		{MeterID: 1, Sample: store.Sample{TS: 100, Value: 1}},
+		{MeterID: 2, Sample: store.Sample{TS: 100, Value: 2}},
+	}
+	var mbuf, rbuf bytes.Buffer
+	if err := WriteMeters(&mbuf, meters); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteReadings(&rbuf, readings); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := ReadMeters(&mbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := ReadReadings(&rbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Import(st, ms, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Readings != 2 || rep.Skipped != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if st.Stats().Samples != 2 {
+		t.Fatalf("stats = %+v", st.Stats())
+	}
+}

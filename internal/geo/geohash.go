@@ -1,0 +1,191 @@
+package geo
+
+import (
+	"errors"
+	"strings"
+)
+
+// base32 is the geohash alphabet (no a, i, l, o).
+const base32 = "0123456789bcdefghjkmnpqrstuvwxyz"
+
+var base32Index = func() map[byte]int {
+	m := make(map[byte]int, len(base32))
+	for i := 0; i < len(base32); i++ {
+		m[base32[i]] = i
+	}
+	return m
+}()
+
+// ErrInvalidGeohash is returned by Decode for malformed hashes.
+var ErrInvalidGeohash = errors.New("geo: invalid geohash")
+
+// EncodeGeohash returns the geohash of p with the given precision
+// (number of base-32 characters, 1..12). Precision outside that range is
+// clamped.
+func EncodeGeohash(p Point, precision int) string {
+	if precision < 1 {
+		precision = 1
+	}
+	if precision > 12 {
+		precision = 12
+	}
+	var sb strings.Builder
+	sb.Grow(precision)
+	latMin, latMax := -90.0, 90.0
+	lonMin, lonMax := -180.0, 180.0
+	even := true
+	bit := 0
+	ch := 0
+	for sb.Len() < precision {
+		if even {
+			mid := (lonMin + lonMax) / 2
+			if p.Lon >= mid {
+				ch = ch<<1 | 1
+				lonMin = mid
+			} else {
+				ch <<= 1
+				lonMax = mid
+			}
+		} else {
+			mid := (latMin + latMax) / 2
+			if p.Lat >= mid {
+				ch = ch<<1 | 1
+				latMin = mid
+			} else {
+				ch <<= 1
+				latMax = mid
+			}
+		}
+		even = !even
+		bit++
+		if bit == 5 {
+			sb.WriteByte(base32[ch])
+			bit, ch = 0, 0
+		}
+	}
+	return sb.String()
+}
+
+// DecodeGeohash returns the bounding box covered by the geohash cell.
+func DecodeGeohash(hash string) (BBox, error) {
+	if hash == "" {
+		return BBox{}, ErrInvalidGeohash
+	}
+	latMin, latMax := -90.0, 90.0
+	lonMin, lonMax := -180.0, 180.0
+	even := true
+	for i := 0; i < len(hash); i++ {
+		c := hash[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		idx, ok := base32Index[c]
+		if !ok {
+			return BBox{}, ErrInvalidGeohash
+		}
+		for mask := 16; mask > 0; mask >>= 1 {
+			if even {
+				mid := (lonMin + lonMax) / 2
+				if idx&mask != 0 {
+					lonMin = mid
+				} else {
+					lonMax = mid
+				}
+			} else {
+				mid := (latMin + latMax) / 2
+				if idx&mask != 0 {
+					latMin = mid
+				} else {
+					latMax = mid
+				}
+			}
+			even = !even
+		}
+	}
+	return BBox{
+		Min: Point{Lon: lonMin, Lat: latMin},
+		Max: Point{Lon: lonMax, Lat: latMax},
+	}, nil
+}
+
+// GeohashCenter decodes the hash and returns its cell center.
+func GeohashCenter(hash string) (Point, error) {
+	b, err := DecodeGeohash(hash)
+	if err != nil {
+		return Point{}, err
+	}
+	return b.Center(), nil
+}
+
+// GeohashNeighbors returns the geohashes of the 8 cells surrounding the
+// given cell, in row-major order starting at the north-west neighbor. Cells
+// falling outside the legal lat range are omitted.
+func GeohashNeighbors(hash string) ([]string, error) {
+	box, err := DecodeGeohash(hash)
+	if err != nil {
+		return nil, err
+	}
+	c := box.Center()
+	dLon := box.Max.Lon - box.Min.Lon
+	dLat := box.Max.Lat - box.Min.Lat
+	out := make([]string, 0, 8)
+	for _, dy := range []float64{1, 0, -1} {
+		for _, dx := range []float64{-1, 0, 1} {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			p := Point{Lon: c.Lon + dx*dLon, Lat: c.Lat + dy*dLat}
+			// Wrap longitude; clamp latitude by skipping illegal cells.
+			if p.Lon > 180 {
+				p.Lon -= 360
+			}
+			if p.Lon < -180 {
+				p.Lon += 360
+			}
+			if p.Lat > 90 || p.Lat < -90 {
+				continue
+			}
+			out = append(out, EncodeGeohash(p, len(hash)))
+		}
+	}
+	return out, nil
+}
+
+// CoverBBox returns a set of geohash prefixes at the given precision that
+// together cover box. The result is deduplicated and sorted by construction
+// order (row-major, south-west to north-east).
+func CoverBBox(box BBox, precision int) []string {
+	if box.IsEmpty() {
+		return nil
+	}
+	// Cell size at this precision, derived from a probe cell.
+	probe, _ := DecodeGeohash(EncodeGeohash(box.Min, precision))
+	dLon := probe.Max.Lon - probe.Min.Lon
+	dLat := probe.Max.Lat - probe.Min.Lat
+	seen := make(map[string]bool)
+	var out []string
+	for lat := box.Min.Lat; ; lat += dLat {
+		clampedLat := lat
+		if clampedLat > box.Max.Lat {
+			clampedLat = box.Max.Lat
+		}
+		for lon := box.Min.Lon; ; lon += dLon {
+			clampedLon := lon
+			if clampedLon > box.Max.Lon {
+				clampedLon = box.Max.Lon
+			}
+			h := EncodeGeohash(Point{Lon: clampedLon, Lat: clampedLat}, precision)
+			if !seen[h] {
+				seen[h] = true
+				out = append(out, h)
+			}
+			if lon >= box.Max.Lon {
+				break
+			}
+		}
+		if lat >= box.Max.Lat {
+			break
+		}
+	}
+	return out
+}

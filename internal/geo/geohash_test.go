@@ -1,0 +1,178 @@
+package geo
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeGeohashKnown(t *testing.T) {
+	// Reference value from the original geohash.org scheme.
+	p := Point{Lon: -5.6, Lat: 42.6}
+	if h := EncodeGeohash(p, 5); h != "ezs42" {
+		t.Errorf("geohash(42.6N 5.6W, 5) = %q, want ezs42", h)
+	}
+}
+
+func TestGeohashPrecisionClamp(t *testing.T) {
+	p := Point{Lon: 12.5, Lat: 55.7}
+	if h := EncodeGeohash(p, 0); len(h) != 1 {
+		t.Errorf("precision 0 clamps to 1, got len %d", len(h))
+	}
+	if h := EncodeGeohash(p, 99); len(h) != 12 {
+		t.Errorf("precision 99 clamps to 12, got len %d", len(h))
+	}
+}
+
+func TestDecodeGeohashContainsOriginal(t *testing.T) {
+	f := func(lon, lat float64, pRaw uint8) bool {
+		p := Point{Lon: wrap(lon, 180), Lat: wrap(lat, 90)}
+		prec := int(pRaw%11) + 1
+		h := EncodeGeohash(p, prec)
+		box, err := DecodeGeohash(h)
+		if err != nil {
+			return false
+		}
+		// Allow epsilon slack for points exactly on cell edges.
+		return box.Buffer(1e-9).Contains(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeGeohashRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "a!", "ilo", "u4pruydqqv?"} {
+		if _, err := DecodeGeohash(bad); err == nil {
+			t.Errorf("DecodeGeohash(%q) should fail", bad)
+		}
+	}
+}
+
+func TestDecodeGeohashCaseInsensitive(t *testing.T) {
+	lower, err := DecodeGeohash("ezs42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	upper, err := DecodeGeohash("EZS42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lower != upper {
+		t.Errorf("case sensitivity: %v vs %v", lower, upper)
+	}
+}
+
+func TestGeohashCellShrinks(t *testing.T) {
+	p := Point{Lon: 12.5683, Lat: 55.6761}
+	prev := math.Inf(1)
+	for prec := 1; prec <= 10; prec++ {
+		box, err := DecodeGeohash(EncodeGeohash(p, prec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := box.Area()
+		if a >= prev {
+			t.Errorf("precision %d area %v did not shrink from %v", prec, a, prev)
+		}
+		prev = a
+	}
+}
+
+func TestGeohashCenter(t *testing.T) {
+	p := Point{Lon: 12.5683, Lat: 55.6761}
+	h := EncodeGeohash(p, 9)
+	c, err := GeohashCenter(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DistanceTo(c) > 10 {
+		t.Errorf("precision-9 center %.1f m from original", p.DistanceTo(c))
+	}
+}
+
+func TestGeohashNeighbors(t *testing.T) {
+	h := EncodeGeohash(Point{Lon: 12.5, Lat: 55.7}, 6)
+	ns, err := GeohashNeighbors(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 8 {
+		t.Fatalf("neighbors = %d, want 8", len(ns))
+	}
+	seen := map[string]bool{h: true}
+	center, _ := DecodeGeohash(h)
+	for _, n := range ns {
+		if seen[n] {
+			t.Errorf("duplicate or self neighbor %q", n)
+		}
+		seen[n] = true
+		if len(n) != len(h) {
+			t.Errorf("neighbor %q has precision %d, want %d", n, len(n), len(h))
+		}
+		nb, err := DecodeGeohash(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Each neighbor cell must touch the center cell.
+		if !center.Buffer(1e-9).Intersects(nb) {
+			t.Errorf("neighbor %q does not touch %q", n, h)
+		}
+	}
+}
+
+func TestGeohashNeighborsAtPole(t *testing.T) {
+	h := EncodeGeohash(Point{Lon: 0, Lat: 89.9}, 3)
+	ns, err := GeohashNeighbors(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) >= 8 {
+		t.Errorf("pole-adjacent cell should drop out-of-range neighbors, got %d", len(ns))
+	}
+}
+
+func TestCoverBBox(t *testing.T) {
+	box := NewBBox(Point{12.50, 55.60}, Point{12.60, 55.70})
+	cover := CoverBBox(box, 5)
+	if len(cover) == 0 {
+		t.Fatal("empty cover")
+	}
+	// Every corner and the center must fall in some cover cell.
+	probes := []Point{box.Min, box.Max, box.Center(),
+		{Lon: box.Min.Lon, Lat: box.Max.Lat}, {Lon: box.Max.Lon, Lat: box.Min.Lat}}
+	for _, p := range probes {
+		found := false
+		for _, h := range cover {
+			cell, err := DecodeGeohash(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cell.Buffer(1e-9).Contains(p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("probe %v not covered", p)
+		}
+	}
+	// No duplicates.
+	seen := map[string]bool{}
+	for _, h := range cover {
+		if seen[h] {
+			t.Errorf("duplicate cover cell %q", h)
+		}
+		seen[h] = true
+		if strings.ToLower(h) != h {
+			t.Errorf("cover cell %q not lowercase", h)
+		}
+	}
+}
+
+func TestCoverBBoxEmpty(t *testing.T) {
+	if c := CoverBBox(EmptyBBox(), 5); c != nil {
+		t.Errorf("cover of empty box = %v, want nil", c)
+	}
+}

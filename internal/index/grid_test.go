@@ -1,0 +1,103 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"vap/internal/geo"
+)
+
+func testBox() geo.BBox {
+	return geo.NewBBox(geo.Point{Lon: 12.0, Lat: 55.0}, geo.Point{Lon: 13.0, Lat: 56.0})
+}
+
+func TestGridDimsClamped(t *testing.T) {
+	g := NewGrid(testBox(), 0, -3)
+	c, r := g.Dims()
+	if c != 1 || r != 1 {
+		t.Errorf("dims = (%d,%d), want (1,1)", c, r)
+	}
+}
+
+func TestGridCellOfCorners(t *testing.T) {
+	g := NewGrid(testBox(), 10, 10)
+	c, r := g.CellOf(geo.Point{Lon: 12.0, Lat: 55.0})
+	if c != 0 || r != 0 {
+		t.Errorf("SW corner cell = (%d,%d), want (0,0)", c, r)
+	}
+	c, r = g.CellOf(geo.Point{Lon: 13.0, Lat: 56.0})
+	if c != 9 || r != 9 {
+		t.Errorf("NE corner cell = (%d,%d), want (9,9)", c, r)
+	}
+	// Out-of-box points clamp.
+	c, r = g.CellOf(geo.Point{Lon: 20, Lat: 60})
+	if c != 9 || r != 9 {
+		t.Errorf("outside point clamps to (%d,%d), want (9,9)", c, r)
+	}
+}
+
+func TestGridCellCenterInsideCellBox(t *testing.T) {
+	g := NewGrid(testBox(), 7, 5)
+	for r := 0; r < 5; r++ {
+		for c := 0; c < 7; c++ {
+			box := g.CellBox(c, r)
+			ctr := g.CellCenter(c, r)
+			if !box.Contains(ctr) {
+				t.Fatalf("cell (%d,%d) center %v outside box %v", c, r, ctr, box)
+			}
+		}
+	}
+}
+
+func TestGridInsertQuery(t *testing.T) {
+	g := NewGrid(testBox(), 20, 20)
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geo.Point, 400)
+	for i := range pts {
+		pts[i] = geo.Point{Lon: 12 + rng.Float64(), Lat: 55 + rng.Float64()}
+		g.Insert(pts[i], int64(i))
+	}
+	if g.Len() != 400 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	// Query must be a superset of exact containment (cell granularity).
+	q := geo.NewBBox(geo.Point{Lon: 12.2, Lat: 55.2}, geo.Point{Lon: 12.6, Lat: 55.5})
+	got := g.Query(q, nil)
+	set := map[int64]bool{}
+	for _, id := range got {
+		set[id] = true
+	}
+	for i, p := range pts {
+		if q.Contains(p) && !set[int64(i)] {
+			t.Fatalf("point %d inside query box missing from grid result", i)
+		}
+	}
+}
+
+func TestGridQueryDisjoint(t *testing.T) {
+	g := NewGrid(testBox(), 4, 4)
+	g.Insert(geo.Point{Lon: 12.5, Lat: 55.5}, 1)
+	far := geo.NewBBox(geo.Point{Lon: 40, Lat: 10}, geo.Point{Lon: 41, Lat: 11})
+	if got := g.Query(far, nil); len(got) != 0 {
+		t.Errorf("disjoint query returned %v", got)
+	}
+}
+
+func TestGridForEachCell(t *testing.T) {
+	g := NewGrid(testBox(), 4, 4)
+	g.Insert(geo.Point{Lon: 12.1, Lat: 55.1}, 1)
+	g.Insert(geo.Point{Lon: 12.9, Lat: 55.9}, 2)
+	g.Insert(geo.Point{Lon: 12.9, Lat: 55.9}, 3)
+	cells := 0
+	total := 0
+	g.ForEachCell(func(c, r int, ids []int64) {
+		cells++
+		total += len(ids)
+	})
+	if cells != 2 {
+		t.Errorf("non-empty cells = %d, want 2", cells)
+	}
+	if total != 3 {
+		t.Errorf("total ids = %d, want 3", total)
+	}
+}

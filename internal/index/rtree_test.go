@@ -1,0 +1,265 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"vap/internal/geo"
+)
+
+func randPoint(rng *rand.Rand) geo.Point {
+	return geo.Point{
+		Lon: 12.4 + rng.Float64()*0.4,
+		Lat: 55.5 + rng.Float64()*0.3,
+	}
+}
+
+func TestRTreeEmpty(t *testing.T) {
+	tr := NewRTree()
+	if tr.Len() != 0 {
+		t.Fatalf("empty len = %d", tr.Len())
+	}
+	if got := tr.Search(geo.NewBBox(geo.Point{Lon: 0, Lat: 0}, geo.Point{Lon: 90, Lat: 90}), nil); len(got) != 0 {
+		t.Errorf("search on empty = %v", got)
+	}
+	if nn := tr.Nearest(geo.Point{Lon: 12, Lat: 55}, 3); nn != nil {
+		t.Errorf("nearest on empty = %v", nn)
+	}
+}
+
+func TestRTreeInsertSearchExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := NewRTree()
+	pts := make([]geo.Point, 500)
+	for i := range pts {
+		pts[i] = randPoint(rng)
+		tr.InsertPoint(pts[i], int64(i))
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("len = %d, want 500", tr.Len())
+	}
+	if ok, msg := tr.CheckInvariants(); !ok {
+		t.Fatalf("invariant violated: %s", msg)
+	}
+	// Compare tree search against brute force for random query boxes.
+	for q := 0; q < 50; q++ {
+		a, b := randPoint(rng), randPoint(rng)
+		box := geo.NewBBox(a, b)
+		got := tr.SearchSorted(box)
+		var want []int64
+		for i, p := range pts {
+			if box.Contains(p) {
+				want = append(want, int64(i))
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d ids, want %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d: got[%d]=%d want %d", q, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRTreeNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := NewRTree()
+	pts := make([]geo.Point, 300)
+	for i := range pts {
+		pts[i] = randPoint(rng)
+		tr.InsertPoint(pts[i], int64(i))
+	}
+	for q := 0; q < 20; q++ {
+		origin := randPoint(rng)
+		k := 1 + rng.Intn(10)
+		got := tr.Nearest(origin, k)
+		if len(got) != k {
+			t.Fatalf("nearest returned %d, want %d", len(got), k)
+		}
+		// Brute force.
+		type pd struct {
+			id int64
+			d  float64
+		}
+		all := make([]pd, len(pts))
+		for i, p := range pts {
+			all[i] = pd{int64(i), origin.DistanceTo(p)}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+		for i := 0; i < k; i++ {
+			if got[i].Distance > all[i].d+1e-6 {
+				t.Fatalf("rank %d: got distance %.2f, brute force %.2f", i, got[i].Distance, all[i].d)
+			}
+		}
+		// Distances must be non-decreasing.
+		for i := 1; i < k; i++ {
+			if got[i].Distance < got[i-1].Distance {
+				t.Fatalf("nearest result not sorted at %d", i)
+			}
+		}
+	}
+}
+
+func TestRTreeNearestKLargerThanSize(t *testing.T) {
+	tr := NewRTree()
+	tr.InsertPoint(geo.Point{Lon: 12.5, Lat: 55.7}, 1)
+	tr.InsertPoint(geo.Point{Lon: 12.6, Lat: 55.7}, 2)
+	got := tr.Nearest(geo.Point{Lon: 12.5, Lat: 55.7}, 10)
+	if len(got) != 2 {
+		t.Errorf("k > size returns %d, want 2", len(got))
+	}
+}
+
+func TestRTreeWithinRadius(t *testing.T) {
+	tr := NewRTree()
+	origin := geo.Point{Lon: 12.5, Lat: 55.7}
+	// One point every 500 m heading east.
+	for i := 0; i < 10; i++ {
+		tr.InsertPoint(geo.Destination(origin, float64(i)*500, 90), int64(i))
+	}
+	got := tr.WithinRadius(origin, 1600)
+	if len(got) != 4 { // 0, 500, 1000, 1500
+		t.Fatalf("within 1600m = %d points, want 4", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Distance < got[i-1].Distance {
+			t.Fatal("WithinRadius not sorted by distance")
+		}
+	}
+	if got := tr.WithinRadius(origin, -1); got != nil {
+		t.Error("negative radius should return nil")
+	}
+}
+
+func TestRTreeDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := NewRTree()
+	pts := make([]geo.Point, 200)
+	for i := range pts {
+		pts[i] = randPoint(rng)
+		tr.InsertPoint(pts[i], int64(i))
+	}
+	// Delete half, verify searches shrink accordingly.
+	for i := 0; i < 100; i++ {
+		if !tr.Delete(geo.PointBox(pts[i]), int64(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("len after deletes = %d, want 100", tr.Len())
+	}
+	if ok, msg := tr.CheckInvariants(); !ok {
+		t.Fatalf("invariant violated after delete: %s", msg)
+	}
+	all := tr.SearchSorted(tr.Bounds())
+	if len(all) != 100 {
+		t.Fatalf("search all after deletes = %d, want 100", len(all))
+	}
+	for _, id := range all {
+		if id < 100 {
+			t.Fatalf("deleted id %d still present", id)
+		}
+	}
+	// Deleting a missing item returns false.
+	if tr.Delete(geo.PointBox(pts[0]), 0) {
+		t.Error("double delete should fail")
+	}
+}
+
+func TestRTreeDeleteAll(t *testing.T) {
+	tr := NewRTree()
+	pts := make([]geo.Point, 60)
+	rng := rand.New(rand.NewSource(9))
+	for i := range pts {
+		pts[i] = randPoint(rng)
+		tr.InsertPoint(pts[i], int64(i))
+	}
+	for i := range pts {
+		if !tr.Delete(geo.PointBox(pts[i]), int64(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len = %d after deleting all", tr.Len())
+	}
+	// Tree must remain usable.
+	tr.InsertPoint(pts[0], 999)
+	if got := tr.SearchSorted(geo.PointBox(pts[0])); len(got) != 1 || got[0] != 999 {
+		t.Fatalf("reuse after drain failed: %v", got)
+	}
+}
+
+func TestRTreeDuplicatePoints(t *testing.T) {
+	tr := NewRTree()
+	p := geo.Point{Lon: 12.5, Lat: 55.7}
+	for i := 0; i < 50; i++ {
+		tr.InsertPoint(p, int64(i))
+	}
+	got := tr.SearchSorted(geo.PointBox(p))
+	if len(got) != 50 {
+		t.Fatalf("duplicate point search = %d, want 50", len(got))
+	}
+}
+
+func TestRTreeWalkVisitsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := NewRTree()
+	for i := 0; i < 123; i++ {
+		tr.InsertPoint(randPoint(rng), int64(i))
+	}
+	seen := map[int64]bool{}
+	tr.Walk(func(it Item) { seen[it.ID] = true })
+	if len(seen) != 123 {
+		t.Fatalf("walk visited %d, want 123", len(seen))
+	}
+}
+
+func TestRTreeHeightGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tr := NewRTree()
+	if tr.Height() != 1 {
+		t.Fatalf("empty height = %d", tr.Height())
+	}
+	for i := 0; i < 1000; i++ {
+		tr.InsertPoint(randPoint(rng), int64(i))
+	}
+	if h := tr.Height(); h < 2 || h > 6 {
+		t.Errorf("height after 1000 inserts = %d, want small and > 1", h)
+	}
+}
+
+func TestRTreePropertySearchContainsInserted(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%120 + 1
+		tr := NewRTree()
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = randPoint(rng)
+			tr.InsertPoint(pts[i], int64(i))
+		}
+		// Every inserted point must be findable by its own point box.
+		for i, p := range pts {
+			found := false
+			for _, id := range tr.Search(geo.PointBox(p), nil) {
+				if id == int64(i) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		ok, _ := tr.CheckInvariants()
+		return ok && tr.Len() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

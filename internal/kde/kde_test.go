@@ -1,0 +1,208 @@
+package kde
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vap/internal/geo"
+)
+
+func box() geo.BBox {
+	return geo.NewBBox(geo.Point{Lon: 12.4, Lat: 55.5}, geo.Point{Lon: 12.8, Lat: 55.9})
+}
+
+func TestEstimatePeakAtPointMass(t *testing.T) {
+	pts := []WeightedPoint{{Loc: geo.Point{Lon: 12.6, Lat: 55.7}, Weight: 1}}
+	f, err := Estimate(pts, box(), Config{Cols: 64, Rows: 64, Bandwidth: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The densest cell must be the one containing the point.
+	bestIdx := 0
+	for i, v := range f.Values {
+		if v > f.Values[bestIdx] {
+			bestIdx = i
+		}
+	}
+	c, r := f.CellOf(geo.Point{Lon: 12.6, Lat: 55.7})
+	if bestIdx != r*f.Cols+c {
+		t.Errorf("peak at %d, want cell (%d,%d)=%d", bestIdx, c, r, r*f.Cols+c)
+	}
+}
+
+func TestEstimateMassConservation(t *testing.T) {
+	// Integral of a Gaussian KDE over a sufficiently large box equals the
+	// mean weight (Eq. 3 has 1/n and sum c_i).
+	rng := rand.New(rand.NewSource(1))
+	var pts []WeightedPoint
+	for i := 0; i < 50; i++ {
+		pts = append(pts, WeightedPoint{
+			Loc:    geo.Point{Lon: 12.6 + rng.NormFloat64()*0.01, Lat: 55.7 + rng.NormFloat64()*0.01},
+			Weight: 1,
+		})
+	}
+	f, err := Estimate(pts, box(), Config{Cols: 128, Rows: 128, Bandwidth: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Integral(); math.Abs(got-1) > 0.05 {
+		t.Errorf("integral = %v, want ~1 (mean unit weight)", got)
+	}
+}
+
+func TestEstimateWeightsScaleDensity(t *testing.T) {
+	p := geo.Point{Lon: 12.6, Lat: 55.7}
+	f1, _ := Estimate([]WeightedPoint{{Loc: p, Weight: 1}}, box(), Config{Bandwidth: 0.02})
+	f2, _ := Estimate([]WeightedPoint{{Loc: p, Weight: 2}}, box(), Config{Bandwidth: 0.02})
+	_, hi1 := f1.MinMax()
+	_, hi2 := f2.MinMax()
+	if math.Abs(hi2-2*hi1) > 1e-9*hi1 {
+		t.Errorf("doubling weight: peak %v -> %v, want exactly 2x", hi1, hi2)
+	}
+}
+
+func TestEstimateZeroWeightIgnored(t *testing.T) {
+	p := geo.Point{Lon: 12.6, Lat: 55.7}
+	f, err := Estimate([]WeightedPoint{{Loc: p, Weight: 0}}, box(), Config{Bandwidth: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, hi := f.MinMax(); hi != 0 {
+		t.Errorf("zero-weight point produced density %v", hi)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	if _, err := Estimate(nil, box(), Config{}); err == nil {
+		t.Error("no points should fail")
+	}
+	pts := []WeightedPoint{{Loc: geo.Point{Lon: 12.6, Lat: 55.7}, Weight: 1}}
+	if _, err := Estimate(pts, geo.EmptyBBox(), Config{}); err == nil {
+		t.Error("empty box should fail")
+	}
+}
+
+func TestKernelsIntegrateToOne(t *testing.T) {
+	// Numerically integrate each kernel over the plane.
+	for _, k := range []Kernel{KernelGaussian, KernelEpanechnikov, KernelUniform} {
+		sum := 0.0
+		const step = 0.01
+		for x := -5.0; x <= 5; x += step {
+			for y := -5.0; y <= 5; y += step {
+				sum += kernelValue(k, x*x+y*y) * step * step
+			}
+		}
+		if math.Abs(sum-1) > 0.01 {
+			t.Errorf("%s integrates to %v, want 1", k, sum)
+		}
+	}
+}
+
+func TestCompactKernelsHaveCompactSupport(t *testing.T) {
+	for _, k := range []Kernel{KernelEpanechnikov, KernelUniform} {
+		if v := kernelValue(k, 1.0001); v != 0 {
+			t.Errorf("%s outside support = %v", k, v)
+		}
+	}
+	if v := kernelValue(KernelGaussian, 4); v == 0 {
+		t.Error("gaussian should be positive everywhere")
+	}
+}
+
+func TestTruncatedMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var pts []WeightedPoint
+	for i := 0; i < 30; i++ {
+		pts = append(pts, WeightedPoint{
+			Loc:    geo.Point{Lon: 12.5 + rng.Float64()*0.2, Lat: 55.6 + rng.Float64()*0.2},
+			Weight: rng.Float64(),
+		})
+	}
+	cfg := Config{Cols: 48, Rows: 48, Bandwidth: 0.01}
+	fast, err := Estimate(pts, box(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Exact = true
+	exact, err := Estimate(pts, box(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, peak := exact.MinMax()
+	for i := range fast.Values {
+		if math.Abs(fast.Values[i]-exact.Values[i]) > 1e-5*peak {
+			t.Fatalf("cell %d: fast %v vs exact %v", i, fast.Values[i], exact.Values[i])
+		}
+	}
+}
+
+func TestSilvermanBandwidthPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var pts []WeightedPoint
+	for i := 0; i < 100; i++ {
+		pts = append(pts, WeightedPoint{
+			Loc: geo.Point{Lon: 12.5 + rng.NormFloat64()*0.02, Lat: 55.7 + rng.NormFloat64()*0.02},
+		})
+	}
+	h := SilvermanBandwidth(pts)
+	if h <= 0 || h > 0.1 {
+		t.Errorf("bandwidth = %v", h)
+	}
+	// Degenerate inputs still give a usable bandwidth.
+	if h := SilvermanBandwidth(nil); h <= 0 {
+		t.Errorf("nil bandwidth = %v", h)
+	}
+	same := []WeightedPoint{{Loc: geo.Point{Lon: 12.5, Lat: 55.7}}, {Loc: geo.Point{Lon: 12.5, Lat: 55.7}}}
+	if h := SilvermanBandwidth(same); h <= 0 {
+		t.Errorf("coincident bandwidth = %v", h)
+	}
+}
+
+func TestFieldSub(t *testing.T) {
+	p := geo.Point{Lon: 12.6, Lat: 55.7}
+	f1, _ := Estimate([]WeightedPoint{{Loc: p, Weight: 1}}, box(), Config{Bandwidth: 0.02})
+	f2, _ := Estimate([]WeightedPoint{{Loc: p, Weight: 3}}, box(), Config{Bandwidth: 0.02})
+	diff, err := f2.Sub(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range diff.Values {
+		want := f2.Values[i] - f1.Values[i]
+		if diff.Values[i] != want {
+			t.Fatalf("sub wrong at %d", i)
+		}
+	}
+	// Geometry mismatch fails.
+	other, _ := Estimate([]WeightedPoint{{Loc: p, Weight: 1}}, box(), Config{Cols: 32, Rows: 32, Bandwidth: 0.02})
+	if _, err := f1.Sub(other); err == nil {
+		t.Error("geometry mismatch should fail")
+	}
+}
+
+func TestCellRoundTrip(t *testing.T) {
+	f, _ := Estimate([]WeightedPoint{{Loc: geo.Point{Lon: 12.6, Lat: 55.7}, Weight: 1}},
+		box(), Config{Cols: 40, Rows: 30, Bandwidth: 0.02})
+	for _, probe := range []struct{ c, r int }{{0, 0}, {39, 29}, {20, 15}, {7, 23}} {
+		ctr := f.CellCenter(probe.c, probe.r)
+		c, r := f.CellOf(ctr)
+		if c != probe.c || r != probe.r {
+			t.Errorf("cell (%d,%d) center maps back to (%d,%d)", probe.c, probe.r, c, r)
+		}
+	}
+}
+
+func TestEstimateAtMatchesFieldPeak(t *testing.T) {
+	p := geo.Point{Lon: 12.6, Lat: 55.7}
+	pts := []WeightedPoint{{Loc: p, Weight: 1}}
+	h := 0.02
+	direct := EstimateAt(pts, p, h, KernelGaussian)
+	// Analytical: w * K(0) / (n h^2) = (1/(2pi)) / h^2.
+	want := 1 / (2 * math.Pi * h * h)
+	if math.Abs(direct-want) > 1e-9*want {
+		t.Errorf("EstimateAt = %v, want %v", direct, want)
+	}
+	if EstimateAt(pts, p, 0, KernelGaussian) != 0 {
+		t.Error("zero bandwidth should return 0")
+	}
+}

@@ -1,0 +1,407 @@
+// Package mat implements the small dense linear-algebra kernel VAP's
+// analytics need: a row-major dense matrix, symmetric eigendecomposition via
+// the cyclic Jacobi method, power iteration with deflation, and the
+// double-centering operator used by classical MDS.
+//
+// The package is deliberately minimal — it is not a general BLAS — but every
+// routine is exact (no approximations beyond float64) and tested against
+// closed-form cases.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewDense returns a zeroed Rows x Cols matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic("mat: negative dimension")
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a Dense from a slice of equal-length rows.
+func FromRows(rows [][]float64) (*Dense, error) {
+	if len(rows) == 0 {
+		return NewDense(0, 0), nil
+	}
+	c := len(rows[0])
+	m := NewDense(len(rows), c)
+	for i, r := range rows {
+		if len(r) != c {
+			return nil, fmt.Errorf("mat: ragged input: row %d has %d cols, want %d", i, len(r), c)
+		}
+		copy(m.Data[i*c:(i+1)*c], r)
+	}
+	return m, nil
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose as a new matrix.
+func (m *Dense) T() *Dense {
+	out := NewDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Mul returns m * b.
+func (m *Dense) Mul(b *Dense) (*Dense, error) {
+	if m.Cols != b.Rows {
+		return nil, fmt.Errorf("mat: dimension mismatch %dx%d * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols)
+	}
+	out := NewDense(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Row(i)
+		oi := out.Row(i)
+		for k := 0; k < m.Cols; k++ {
+			a := mi[k]
+			if a == 0 {
+				continue
+			}
+			bk := b.Row(k)
+			for j := range oi {
+				oi[j] += a * bk[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns m * v.
+func (m *Dense) MulVec(v []float64) ([]float64, error) {
+	if m.Cols != len(v) {
+		return nil, fmt.Errorf("mat: dimension mismatch %dx%d * vec(%d)", m.Rows, m.Cols, len(v))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for j, x := range row {
+			s += x * v[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Scale multiplies every element in place by s.
+func (m *Dense) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// Add adds b element-wise in place; dimensions must match.
+func (m *Dense) Add(b *Dense) error {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return errors.New("mat: dimension mismatch in Add")
+	}
+	for i := range m.Data {
+		m.Data[i] += b.Data[i]
+	}
+	return nil
+}
+
+// IsSymmetric reports whether the matrix is square and symmetric to tol.
+func (m *Dense) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// DoubleCenter applies the centering operator B = -1/2 * J * D2 * J where
+// J = I - (1/n) 11^T, to a squared-distance matrix D2, in place, returning
+// the Gram matrix used by classical MDS.
+func DoubleCenter(d2 *Dense) (*Dense, error) {
+	n := d2.Rows
+	if n != d2.Cols {
+		return nil, errors.New("mat: DoubleCenter requires a square matrix")
+	}
+	rowMean := make([]float64, n)
+	colMean := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := d2.At(i, j)
+			rowMean[i] += v
+			colMean[j] += v
+			total += v
+		}
+	}
+	fn := float64(n)
+	for i := range rowMean {
+		rowMean[i] /= fn
+	}
+	for j := range colMean {
+		colMean[j] /= fn
+	}
+	total /= fn * fn
+	out := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.Set(i, j, -0.5*(d2.At(i, j)-rowMean[i]-colMean[j]+total))
+		}
+	}
+	return out, nil
+}
+
+// Eigen holds an eigendecomposition of a symmetric matrix: Values sorted in
+// descending order and Vectors with the i-th eigenvector in column i.
+type Eigen struct {
+	Values  []float64
+	Vectors *Dense // n x n, column i pairs with Values[i]
+}
+
+// SymEigen computes the full eigendecomposition of symmetric matrix a using
+// the cyclic Jacobi rotation method. The input is not modified.
+func SymEigen(a *Dense) (*Eigen, error) {
+	n := a.Rows
+	if n != a.Cols {
+		return nil, errors.New("mat: SymEigen requires a square matrix")
+	}
+	if !a.IsSymmetric(1e-8 * (1 + maxAbs(a))) {
+		return nil, errors.New("mat: SymEigen requires a symmetric matrix")
+	}
+	w := a.Clone()
+	v := Identity(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if off < 1e-12*(1+maxAbs(w)) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(w, v, p, q, c, s)
+			}
+		}
+	}
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.At(i, i)
+	}
+	// Sort descending by eigenvalue, permuting vector columns to match.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if vals[order[j]] > vals[order[best]] {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+	}
+	sortedVals := make([]float64, n)
+	vecs := NewDense(n, n)
+	for k, idx := range order {
+		sortedVals[k] = vals[idx]
+		for r := 0; r < n; r++ {
+			vecs.Set(r, k, v.At(r, idx))
+		}
+	}
+	return &Eigen{Values: sortedVals, Vectors: vecs}, nil
+}
+
+// rotate applies a Jacobi rotation with cos c, sin s on rows/cols p, q of w,
+// accumulating the rotation into v.
+func rotate(w, v *Dense, p, q int, c, s float64) {
+	n := w.Rows
+	for i := 0; i < n; i++ {
+		wip := w.At(i, p)
+		wiq := w.At(i, q)
+		w.Set(i, p, c*wip-s*wiq)
+		w.Set(i, q, s*wip+c*wiq)
+	}
+	for j := 0; j < n; j++ {
+		wpj := w.At(p, j)
+		wqj := w.At(q, j)
+		w.Set(p, j, c*wpj-s*wqj)
+		w.Set(q, j, s*wpj+c*wqj)
+	}
+	for i := 0; i < n; i++ {
+		vip := v.At(i, p)
+		viq := v.At(i, q)
+		v.Set(i, p, c*vip-s*viq)
+		v.Set(i, q, s*vip+c*viq)
+	}
+}
+
+func offDiagNorm(m *Dense) float64 {
+	s := 0.0
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if i != j {
+				s += m.At(i, j) * m.At(i, j)
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+func maxAbs(m *Dense) float64 {
+	mx := 0.0
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Identity returns the n x n identity.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// PowerIteration estimates the dominant eigenpair of symmetric matrix a
+// starting from x0 (a nonzero vector; pass nil for a default). It returns
+// the eigenvalue, the unit eigenvector, and the number of iterations used.
+func PowerIteration(a *Dense, x0 []float64, maxIter int, tol float64) (float64, []float64, int, error) {
+	n := a.Rows
+	if n != a.Cols {
+		return 0, nil, 0, errors.New("mat: PowerIteration requires a square matrix")
+	}
+	x := make([]float64, n)
+	if x0 != nil {
+		copy(x, x0)
+	} else {
+		for i := range x {
+			// Deterministic quasi-random start avoids orthogonal-start stalls.
+			x[i] = 1 + 0.001*float64(i%7)
+		}
+	}
+	normalize(x)
+	lambda := 0.0
+	for it := 1; it <= maxIter; it++ {
+		y, err := a.MulVec(x)
+		if err != nil {
+			return 0, nil, it, err
+		}
+		newLambda := dot(x, y)
+		ny := norm(y)
+		if ny == 0 {
+			return 0, x, it, nil // a x = 0: eigenvalue 0
+		}
+		for i := range y {
+			y[i] /= ny
+		}
+		diff := 0.0
+		for i := range y {
+			d := y[i] - x[i]
+			// The sign of the eigenvector is arbitrary; track the closer sign.
+			d2 := y[i] + x[i]
+			if math.Abs(d2) < math.Abs(d) {
+				d = d2
+			}
+			diff += d * d
+		}
+		copy(x, y)
+		lambda = newLambda
+		if math.Sqrt(diff) < tol {
+			return lambda, x, it, nil
+		}
+	}
+	return lambda, x, maxIter, nil
+}
+
+// TopEigen computes the k largest-magnitude eigenpairs of symmetric a using
+// power iteration with Hotelling deflation. It is faster than a full Jacobi
+// sweep when k << n, which is the MDS case (k = 2).
+func TopEigen(a *Dense, k, maxIter int, tol float64) ([]float64, *Dense, error) {
+	n := a.Rows
+	if k > n {
+		k = n
+	}
+	work := a.Clone()
+	vals := make([]float64, 0, k)
+	vecs := NewDense(n, k)
+	for c := 0; c < k; c++ {
+		lambda, vec, _, err := PowerIteration(work, nil, maxIter, tol)
+		if err != nil {
+			return nil, nil, err
+		}
+		vals = append(vals, lambda)
+		for i := 0; i < n; i++ {
+			vecs.Set(i, c, vec[i])
+		}
+		// Deflate: work -= lambda * v v^T
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				work.Set(i, j, work.At(i, j)-lambda*vec[i]*vec[j])
+			}
+		}
+	}
+	return vals, vecs, nil
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm(a []float64) float64 { return math.Sqrt(dot(a, a)) }
+
+func normalize(a []float64) {
+	n := norm(a)
+	if n == 0 {
+		return
+	}
+	for i := range a {
+		a[i] /= n
+	}
+}

@@ -1,0 +1,320 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatalf("dims = %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(1, 2) != 6 {
+		t.Errorf("At(1,2) = %v", m.At(1, 2))
+	}
+	m.Set(0, 0, 9)
+	if m.At(0, 0) != 9 {
+		t.Errorf("Set failed")
+	}
+	if got := m.Row(1); got[0] != 4 || got[2] != 6 {
+		t.Errorf("Row(1) = %v", got)
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged input should fail")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("c[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := a.Mul(NewDense(3, 3)); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	v, err := a.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 3 || v[1] != 7 {
+		t.Errorf("MulVec = %v", v)
+	}
+	if _, err := a.MulVec([]float64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("T dims = %dx%d", at.Rows, at.Cols)
+	}
+	if at.At(2, 1) != 6 || at.At(0, 0) != 1 {
+		t.Errorf("T values wrong")
+	}
+}
+
+func TestScaleAdd(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := a.Clone()
+	a.Scale(2)
+	if a.At(1, 1) != 8 {
+		t.Errorf("Scale: %v", a.At(1, 1))
+	}
+	if err := a.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 3 {
+		t.Errorf("Add: %v", a.At(0, 0))
+	}
+	if err := a.Add(NewDense(1, 1)); err == nil {
+		t.Error("Add mismatch should fail")
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	s, _ := FromRows([][]float64{{1, 2}, {2, 1}})
+	if !s.IsSymmetric(0) {
+		t.Error("symmetric matrix reported asymmetric")
+	}
+	a, _ := FromRows([][]float64{{1, 2}, {3, 1}})
+	if a.IsSymmetric(0.5) {
+		t.Error("asymmetric matrix reported symmetric")
+	}
+	if NewDense(2, 3).IsSymmetric(0) {
+		t.Error("non-square cannot be symmetric")
+	}
+}
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a, _ := FromRows([][]float64{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}})
+	eig, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 1}
+	for i, w := range want {
+		if !almostEq(eig.Values[i], w, 1e-10) {
+			t.Errorf("eigenvalue[%d] = %v, want %v", i, eig.Values[i], w)
+		}
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a, _ := FromRows([][]float64{{2, 1}, {1, 2}})
+	eig, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(eig.Values[0], 3, 1e-10) || !almostEq(eig.Values[1], 1, 1e-10) {
+		t.Fatalf("eigenvalues = %v", eig.Values)
+	}
+	// Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+	v0 := []float64{eig.Vectors.At(0, 0), eig.Vectors.At(1, 0)}
+	if !almostEq(math.Abs(v0[0]), 1/math.Sqrt2, 1e-8) || !almostEq(v0[0], v0[1], 1e-8) {
+		t.Errorf("dominant eigenvector = %v", v0)
+	}
+}
+
+func TestSymEigenReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := 8
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	eig, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check A v_k = lambda_k v_k for every k.
+	for k := 0; k < n; k++ {
+		v := make([]float64, n)
+		for i := 0; i < n; i++ {
+			v[i] = eig.Vectors.At(i, k)
+		}
+		av, _ := a.MulVec(v)
+		for i := 0; i < n; i++ {
+			if !almostEq(av[i], eig.Values[k]*v[i], 1e-7) {
+				t.Fatalf("A v != lambda v at k=%d i=%d: %v vs %v", k, i, av[i], eig.Values[k]*v[i])
+			}
+		}
+	}
+	// Eigenvalues sorted descending.
+	for k := 1; k < n; k++ {
+		if eig.Values[k] > eig.Values[k-1]+1e-12 {
+			t.Fatalf("eigenvalues not sorted: %v", eig.Values)
+		}
+	}
+}
+
+func TestSymEigenRejects(t *testing.T) {
+	if _, err := SymEigen(NewDense(2, 3)); err == nil {
+		t.Error("non-square should fail")
+	}
+	a, _ := FromRows([][]float64{{1, 5}, {0, 1}})
+	if _, err := SymEigen(a); err == nil {
+		t.Error("asymmetric should fail")
+	}
+}
+
+func TestDoubleCenterKnown(t *testing.T) {
+	// Points on a line at 0, 1, 3: squared distances known; the centered
+	// Gram matrix must have zero row/col sums.
+	d2, _ := FromRows([][]float64{
+		{0, 1, 9},
+		{1, 0, 4},
+		{9, 4, 0},
+	})
+	b, err := DoubleCenter(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		rowSum, colSum := 0.0, 0.0
+		for j := 0; j < 3; j++ {
+			rowSum += b.At(i, j)
+			colSum += b.At(j, i)
+		}
+		if !almostEq(rowSum, 0, 1e-12) || !almostEq(colSum, 0, 1e-12) {
+			t.Fatalf("row/col %d sums = %v / %v, want 0", i, rowSum, colSum)
+		}
+	}
+	// B must be symmetric and PSD here (points are Euclidean).
+	if !b.IsSymmetric(1e-12) {
+		t.Fatal("centered matrix not symmetric")
+	}
+	eig, err := SymEigen(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range eig.Values {
+		if v < -1e-9 {
+			t.Fatalf("negative eigenvalue %v for Euclidean distances", v)
+		}
+	}
+	// Gram eigenvalues of collinear points: one positive, rest ~0.
+	if eig.Values[0] <= 0 || !almostEq(eig.Values[1], 0, 1e-9) {
+		t.Fatalf("eigenvalues = %v, want one positive, rest 0", eig.Values)
+	}
+}
+
+func TestDoubleCenterRejectsNonSquare(t *testing.T) {
+	if _, err := DoubleCenter(NewDense(2, 3)); err == nil {
+		t.Error("non-square should fail")
+	}
+}
+
+func TestPowerIteration(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 1}, {1, 3}})
+	lambda, v, iters, err := PowerIteration(a, nil, 500, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dominant eigenvalue = (7 + sqrt(5)) / 2 ≈ 4.618
+	want := (7 + math.Sqrt(5)) / 2
+	if !almostEq(lambda, want, 1e-6) {
+		t.Errorf("lambda = %v, want %v (in %d iters)", lambda, want, iters)
+	}
+	if !almostEq(norm(v), 1, 1e-9) {
+		t.Errorf("eigenvector not unit: %v", norm(v))
+	}
+}
+
+func TestTopEigenMatchesJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 12
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	// Make it PSD (A^T A) so power iteration has a clean dominant pair.
+	psd, _ := a.T().Mul(a)
+	full, err := SymEigen(psd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, _, err := TopEigen(psd, 2, 2000, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2; k++ {
+		if !almostEq(vals[k], full.Values[k], 1e-5*(1+math.Abs(full.Values[k]))) {
+			t.Errorf("TopEigen[%d] = %v, Jacobi %v", k, vals[k], full.Values[k])
+		}
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("identity[%d][%d] = %v", i, j, id.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMulIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(rng.Int31n(6))
+		a := NewDense(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		prod, err := a.Mul(Identity(n))
+		if err != nil {
+			return false
+		}
+		for i := range a.Data {
+			if !almostEq(prod.Data[i], a.Data[i], 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

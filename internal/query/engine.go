@@ -1,0 +1,271 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"vap/internal/geo"
+	"vap/internal/stat"
+	"vap/internal/store"
+)
+
+// Engine evaluates VAP's analytical queries against a Store.
+type Engine struct {
+	st *store.Store
+}
+
+// NewEngine returns an engine bound to st.
+func NewEngine(st *store.Store) *Engine { return &Engine{st: st} }
+
+// Store returns the underlying store.
+func (e *Engine) Store() *store.Store { return e.st }
+
+// Selection describes which meters and which time window a query covers.
+// Zero-value fields are unconstrained.
+type Selection struct {
+	BBox     *geo.BBox      // spatial filter
+	Zone     store.ZoneType // zone filter ("" = any)
+	MeterIDs []int64        // explicit meter set (nil = all)
+	From, To int64          // half-open [From, To); both zero = all time
+}
+
+// ErrNoMeters is returned when a selection matches nothing.
+var ErrNoMeters = errors.New("query: selection matches no meters")
+
+// ResolveMeters returns the sorted meter IDs matching sel.
+func (e *Engine) ResolveMeters(sel Selection) ([]int64, error) {
+	cat := e.st.Catalog()
+	var ids []int64
+	switch {
+	case sel.MeterIDs != nil:
+		ids = append(ids, sel.MeterIDs...)
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	case sel.BBox != nil:
+		ids = cat.Within(*sel.BBox)
+	default:
+		ids = cat.IDs()
+	}
+	if sel.Zone != "" {
+		filtered := ids[:0]
+		for _, id := range ids {
+			if m, ok := cat.Get(id); ok && m.Zone == sel.Zone {
+				filtered = append(filtered, id)
+			}
+		}
+		ids = filtered
+	}
+	if sel.BBox != nil && sel.MeterIDs != nil {
+		filtered := ids[:0]
+		for _, id := range ids {
+			if m, ok := cat.Get(id); ok && sel.BBox.Contains(m.Location) {
+				filtered = append(filtered, id)
+			}
+		}
+		ids = filtered
+	}
+	if len(ids) == 0 {
+		return nil, ErrNoMeters
+	}
+	return ids, nil
+}
+
+// timeWindow resolves the selection's window, defaulting to the store's full
+// data extent (half-open, so To is one past the last sample).
+func (e *Engine) timeWindow(sel Selection) (int64, int64, error) {
+	from, to := sel.From, sel.To
+	if from == 0 && to == 0 {
+		f, l, ok := e.st.TimeBounds()
+		if !ok {
+			return 0, 0, errors.New("query: store is empty")
+		}
+		return f, l + 1, nil
+	}
+	if to <= from {
+		return 0, 0, fmt.Errorf("query: invalid time window [%d, %d)", from, to)
+	}
+	return from, to, nil
+}
+
+// MeterSeries returns the aggregated series of a single meter.
+func (e *Engine) MeterSeries(meterID int64, sel Selection, g Granularity, fn AggFunc) ([]Bucket, error) {
+	from, to, err := e.timeWindow(sel)
+	if err != nil {
+		return nil, err
+	}
+	samples, err := e.st.Range(meterID, from, to)
+	if err != nil {
+		return nil, err
+	}
+	return Aggregate(samples, g, fn)
+}
+
+// MeterMatrix returns one aggregated row per selected meter, all aligned to
+// the same bucket sequence (missing buckets filled with 0), together with
+// the meter IDs (row order) and the bucket start times (column order).
+// This is the "high-dimensional time series" input to dimension reduction.
+func (e *Engine) MeterMatrix(sel Selection, g Granularity, fn AggFunc) (ids []int64, times []int64, rows [][]float64, err error) {
+	ids, err = e.ResolveMeters(sel)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	from, to, err := e.timeWindow(sel)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// Build the global bucket axis.
+	for t := g.Truncate(from); t < to; t = g.Next(t) {
+		times = append(times, t)
+	}
+	pos := make(map[int64]int, len(times))
+	for i, t := range times {
+		pos[t] = i
+	}
+	rows = make([][]float64, len(ids))
+	for r, id := range ids {
+		samples, err := e.st.Range(id, from, to)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		buckets, err := Aggregate(samples, g, fn)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		row := make([]float64, len(times))
+		for _, b := range buckets {
+			if i, ok := pos[b.Start]; ok {
+				row[i] = b.Value
+			}
+		}
+		rows[r] = row
+	}
+	return ids, times, rows, nil
+}
+
+// TotalByMeter returns each selected meter's total consumption over the
+// window, keyed by meter ID.
+func (e *Engine) TotalByMeter(sel Selection) (map[int64]float64, error) {
+	ids, err := e.ResolveMeters(sel)
+	if err != nil {
+		return nil, err
+	}
+	from, to, err := e.timeWindow(sel)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int64]float64, len(ids))
+	for _, id := range ids {
+		samples, err := e.st.Range(id, from, to)
+		if err != nil {
+			return nil, err
+		}
+		s := 0.0
+		for _, smp := range samples {
+			s += smp.Value
+		}
+		out[id] = s
+	}
+	return out, nil
+}
+
+// IntensityBand selects the meters whose total consumption lies at or above
+// the q-th quantile of the selection (the S2 "consumption intensity in a
+// quartile value ranging from 30% to 90%" control). q is in [0, 1].
+func (e *Engine) IntensityBand(sel Selection, q float64) ([]int64, error) {
+	if q < 0 || q > 1 {
+		return nil, fmt.Errorf("query: quantile %v out of [0,1]", q)
+	}
+	totals, err := e.TotalByMeter(sel)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]float64, 0, len(totals))
+	for _, v := range totals {
+		vals = append(vals, v)
+	}
+	cut := stat.Quantile(vals, q)
+	var out []int64
+	for id, v := range totals {
+		if v >= cut {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if len(out) == 0 {
+		return nil, ErrNoMeters
+	}
+	return out, nil
+}
+
+// DemandPoint is a consumption-weighted location: the input to the KDE
+// density maps of Eq. 3.
+type DemandPoint struct {
+	MeterID int64     `json:"meter_id"`
+	Loc     geo.Point `json:"loc"`
+	Weight  float64   `json:"weight"` // normalized mean consumption c_i
+}
+
+// DemandSnapshot returns, for the window [from, to), each selected meter's
+// location weighted by its normalized average consumption in that window —
+// exactly the (x_i, c_i) pairs of Eq. 3.
+func (e *Engine) DemandSnapshot(sel Selection, from, to int64) ([]DemandPoint, error) {
+	s := sel
+	s.From, s.To = from, to
+	ids, err := e.ResolveMeters(s)
+	if err != nil {
+		return nil, err
+	}
+	means := make([]float64, len(ids))
+	for i, id := range ids {
+		samples, err := e.st.Range(id, from, to)
+		if err != nil {
+			return nil, err
+		}
+		if len(samples) == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, smp := range samples {
+			sum += smp.Value
+		}
+		means[i] = sum / float64(len(samples))
+	}
+	weights := stat.Normalize01(means)
+	cat := e.st.Catalog()
+	out := make([]DemandPoint, 0, len(ids))
+	for i, id := range ids {
+		m, ok := cat.Get(id)
+		if !ok {
+			continue
+		}
+		out = append(out, DemandPoint{MeterID: id, Loc: m.Location, Weight: weights[i]})
+	}
+	return out, nil
+}
+
+// AggregateSelection sums the aggregated series of every selected meter into
+// one combined series (View B's "aggregated consumption pattern for the
+// customers selected in view C").
+func (e *Engine) AggregateSelection(sel Selection, g Granularity, fn AggFunc) ([]Bucket, error) {
+	ids, times, rows, err := e.MeterMatrix(sel, g, fn)
+	if err != nil {
+		return nil, err
+	}
+	_ = ids
+	out := make([]Bucket, len(times))
+	for i, t := range times {
+		out[i].Start = t
+	}
+	for _, row := range rows {
+		for i, v := range row {
+			out[i].Value += v
+			out[i].Count++
+		}
+	}
+	if fn == AggMean && len(rows) > 0 {
+		for i := range out {
+			out[i].Value /= float64(len(rows))
+		}
+	}
+	return out, nil
+}

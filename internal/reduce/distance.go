@@ -1,0 +1,130 @@
+// Package reduce implements the dimension-reduction models of VAP's typical
+// pattern discovery (paper §2.1): exact t-SNE minimizing the KL divergence
+// of Eq. 1 with the Student-t low-dimensional kernel of Eq. 2, classical
+// (Torgerson) MDS, SMACOF stress-majorization MDS, and a PCA baseline.
+// The paper's distance metric is the Pearson correlation distance, which
+// "better reflects the correlation of the trend between two time series";
+// Euclidean distance is available for the ablation in EXPERIMENTS.md.
+package reduce
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vap/internal/stat"
+)
+
+// Metric selects the dissimilarity between two high-dimensional series.
+type Metric string
+
+// Supported metrics.
+const (
+	// MetricPearson is 1 - r (the paper's choice).
+	MetricPearson Metric = "pearson"
+	// MetricEuclidean is the L2 distance.
+	MetricEuclidean Metric = "euclidean"
+)
+
+// ErrInput flags invalid reduction input.
+var ErrInput = errors.New("reduce: invalid input")
+
+// DistanceMatrix computes the full symmetric pairwise distance matrix of
+// rows under the metric. Rows must be equal-length and non-empty.
+func DistanceMatrix(rows [][]float64, m Metric) ([][]float64, error) {
+	n := len(rows)
+	if n == 0 {
+		return nil, ErrInput
+	}
+	width := len(rows[0])
+	for i, r := range rows {
+		if len(r) != width || width == 0 {
+			return nil, fmt.Errorf("reduce: row %d has %d cols, want %d nonzero", i, len(r), width)
+		}
+	}
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	var distFn func(a, b []float64) (float64, error)
+	switch m {
+	case MetricPearson:
+		distFn = stat.PearsonDistance
+	case MetricEuclidean:
+		distFn = stat.Euclidean
+	default:
+		return nil, fmt.Errorf("reduce: unknown metric %q", m)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v, err := distFn(rows[i], rows[j])
+			if err != nil {
+				return nil, err
+			}
+			if math.IsNaN(v) || v < 0 {
+				v = 0
+			}
+			d[i][j] = v
+			d[j][i] = v
+		}
+	}
+	return d, nil
+}
+
+// Embedding is a set of 2-D points, one per input row, in input order.
+type Embedding [][2]float64
+
+// Bounds returns the min/max corner of the embedding.
+func (e Embedding) Bounds() (minX, minY, maxX, maxY float64) {
+	if len(e) == 0 {
+		return 0, 0, 0, 0
+	}
+	minX, minY = e[0][0], e[0][1]
+	maxX, maxY = minX, minY
+	for _, p := range e[1:] {
+		if p[0] < minX {
+			minX = p[0]
+		}
+		if p[0] > maxX {
+			maxX = p[0]
+		}
+		if p[1] < minY {
+			minY = p[1]
+		}
+		if p[1] > maxY {
+			maxY = p[1]
+		}
+	}
+	return minX, minY, maxX, maxY
+}
+
+// Normalize01 rescales the embedding into the unit square in place
+// (no-ops on degenerate axes).
+func (e Embedding) Normalize01() {
+	minX, minY, maxX, maxY := e.Bounds()
+	dx := maxX - minX
+	dy := maxY - minY
+	for i := range e {
+		if dx > 0 {
+			e[i][0] = (e[i][0] - minX) / dx
+		} else {
+			e[i][0] = 0.5
+		}
+		if dy > 0 {
+			e[i][1] = (e[i][1] - minY) / dy
+		} else {
+			e[i][1] = 0.5
+		}
+	}
+}
+
+// SquaredDist returns the squared Euclidean distance between embedding
+// points i and j.
+func (e Embedding) SquaredDist(i, j int) float64 {
+	dx := e[i][0] - e[j][0]
+	dy := e[i][1] - e[j][1]
+	return dx*dx + dy*dy
+}
+
+// Dist returns the Euclidean distance between embedding points i and j.
+func (e Embedding) Dist(i, j int) float64 { return math.Sqrt(e.SquaredDist(i, j)) }

@@ -1,0 +1,115 @@
+package stat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func absDist(pos []float64) func(i, j int) float64 {
+	return func(i, j int) float64 { return math.Abs(pos[i] - pos[j]) }
+}
+
+func TestTrustworthinessPerfectEmbedding(t *testing.T) {
+	// Identical geometry in both spaces: both scores are exactly 1.
+	pos := []float64{0, 1, 2, 5, 9, 14, 20, 27, 35, 44}
+	n := len(pos)
+	d := absDist(pos)
+	for k := 1; k <= (n-2)/2; k++ {
+		tw, err := Trustworthiness(n, k, d, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(tw-1) > 1e-12 {
+			t.Errorf("k=%d: trustworthiness = %v, want 1", k, tw)
+		}
+		co, err := Continuity(n, k, d, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(co-1) > 1e-12 {
+			t.Errorf("k=%d: continuity = %v, want 1", k, co)
+		}
+	}
+}
+
+func TestTrustworthinessDetectsScrambling(t *testing.T) {
+	// Low space is a random permutation of the high space: scores drop
+	// well below a faithful embedding's.
+	rng := rand.New(rand.NewSource(2))
+	n := 40
+	high := make([]float64, n)
+	for i := range high {
+		high[i] = float64(i)
+	}
+	low := append([]float64(nil), high...)
+	rng.Shuffle(n, func(i, j int) { low[i], low[j] = low[j], low[i] })
+	tw, err := Trustworthiness(n, 5, absDist(high), absDist(low))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tw > 0.85 {
+		t.Errorf("scrambled trustworthiness = %v, want well below 1", tw)
+	}
+	faithful, _ := Trustworthiness(n, 5, absDist(high), absDist(high))
+	if tw >= faithful {
+		t.Errorf("scrambled (%v) not worse than faithful (%v)", tw, faithful)
+	}
+}
+
+func TestTrustworthinessRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 30
+	high := make([]float64, n)
+	low := make([]float64, n)
+	for i := range high {
+		high[i] = rng.NormFloat64()
+		low[i] = rng.NormFloat64()
+	}
+	tw, err := Trustworthiness(n, 5, absDist(high), absDist(low))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tw < 0 || tw > 1 {
+		t.Errorf("trustworthiness out of range: %v", tw)
+	}
+}
+
+func TestTrustworthinessErrors(t *testing.T) {
+	d := absDist([]float64{1, 2, 3})
+	if _, err := Trustworthiness(2, 1, d, d); err == nil {
+		t.Error("n<3 should fail")
+	}
+	if _, err := Trustworthiness(10, 0, d, d); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := Trustworthiness(10, 5, d, d); err == nil {
+		t.Error("k > (n-2)/2 should fail")
+	}
+}
+
+func TestContinuityAsymmetricCase(t *testing.T) {
+	// Collapse two far points onto each other in the embedding: continuity
+	// suffers for their true neighbors; build a case where trustworthiness
+	// and continuity differ.
+	high := []float64{0, 1, 2, 3, 10, 11, 12, 13}
+	low := []float64{0, 1, 2, 3, 0.5, 11, 12, 13} // point 4 teleported into group 1
+	n := len(high)
+	tw, err := Trustworthiness(n, 2, absDist(high), absDist(low))
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := Continuity(n, 2, absDist(high), absDist(low))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tw >= 1 {
+		t.Errorf("teleported point should hurt trustworthiness: %v", tw)
+	}
+	if co >= 1 {
+		t.Errorf("teleported point should hurt continuity: %v", co)
+	}
+	if tw == co {
+		t.Logf("tw == co (%v); acceptable but unusual for this asymmetric case", tw)
+	}
+}

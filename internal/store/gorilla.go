@@ -1,0 +1,307 @@
+package store
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+)
+
+// Sample is one reading: a Unix timestamp in seconds and a value in kWh.
+type Sample struct {
+	TS    int64   `json:"ts"`
+	Value float64 `json:"v"`
+}
+
+// ErrOutOfOrder is returned when appending a sample at or before the chunk's
+// last timestamp.
+var ErrOutOfOrder = errors.New("store: sample timestamp not strictly increasing")
+
+// ErrCorrupt is returned when decoding malformed chunk bytes.
+var ErrCorrupt = errors.New("store: corrupt chunk")
+
+// Encoder compresses an in-order stream of samples using the Gorilla scheme:
+// the first timestamp is stored raw, the second as a delta, and subsequent
+// ones as delta-of-delta with variable-length prefix codes; values are
+// XORed against the previous value with leading/trailing-zero windows.
+type Encoder struct {
+	w       *bitWriter
+	n       int
+	t0      int64
+	prevT   int64
+	prevD   int64
+	prevV   uint64
+	leading uint8
+	sigbits uint8 // meaningful bit count of the previous XOR window
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder {
+	return &Encoder{w: newBitWriter(), leading: 0xff}
+}
+
+// Len returns the number of encoded samples.
+func (e *Encoder) Len() int { return e.n }
+
+// LastTS returns the last appended timestamp, or 0 when empty.
+func (e *Encoder) LastTS() int64 { return e.prevT }
+
+// SizeBytes returns the current compressed payload size.
+func (e *Encoder) SizeBytes() int { return len(e.w.bytes()) }
+
+// Append adds one sample; timestamps must be strictly increasing.
+func (e *Encoder) Append(s Sample) error {
+	if e.n > 0 && s.TS <= e.prevT {
+		return ErrOutOfOrder
+	}
+	switch e.n {
+	case 0:
+		e.t0 = s.TS
+		e.w.writeBits(uint64(s.TS), 64)
+		e.writeFirstValue(s.Value)
+	case 1:
+		delta := s.TS - e.prevT
+		e.writeVarDelta(delta)
+		e.prevD = delta
+		e.writeValue(s.Value)
+	default:
+		dod := (s.TS - e.prevT) - e.prevD
+		e.writeVarDelta(dod)
+		e.prevD = s.TS - e.prevT
+		e.writeValue(s.Value)
+	}
+	e.prevT = s.TS
+	e.n++
+	return nil
+}
+
+// writeVarDelta emits Gorilla's prefix-coded signed integer:
+//
+//	0                     -> 0
+//	10 + 7 bits           -> [-63, 64]
+//	110 + 9 bits          -> [-255, 256]
+//	1110 + 12 bits        -> [-2047, 2048]
+//	1111 + 64 bits        -> anything else
+func (e *Encoder) writeVarDelta(d int64) {
+	switch {
+	case d == 0:
+		e.w.writeBit(false)
+	case d >= -63 && d <= 64:
+		e.w.writeBits(0b10, 2)
+		e.w.writeBits(uint64(d+63)&0x7f, 7)
+	case d >= -255 && d <= 256:
+		e.w.writeBits(0b110, 3)
+		e.w.writeBits(uint64(d+255)&0x1ff, 9)
+	case d >= -2047 && d <= 2048:
+		e.w.writeBits(0b1110, 4)
+		e.w.writeBits(uint64(d+2047)&0xfff, 12)
+	default:
+		e.w.writeBits(0b1111, 4)
+		e.w.writeBits(uint64(d), 64)
+	}
+}
+
+func (e *Encoder) writeFirstValue(v float64) {
+	e.prevV = math.Float64bits(v)
+	e.w.writeBits(e.prevV, 64)
+}
+
+func (e *Encoder) writeValue(v float64) {
+	cur := math.Float64bits(v)
+	xor := cur ^ e.prevV
+	e.prevV = cur
+	if xor == 0 {
+		e.w.writeBit(false)
+		return
+	}
+	e.w.writeBit(true)
+	lead := uint8(bits.LeadingZeros64(xor))
+	if lead > 31 {
+		lead = 31
+	}
+	trail := uint8(bits.TrailingZeros64(xor))
+	sig := 64 - lead - trail
+	// Reuse the previous window if the new XOR fits inside it.
+	if e.leading != 0xff && lead >= e.leading && trail >= 64-e.leading-e.sigbits {
+		e.w.writeBit(false)
+		e.w.writeBits(xor>>(64-e.leading-e.sigbits), uint(e.sigbits))
+		return
+	}
+	e.leading, e.sigbits = lead, sig
+	e.w.writeBit(true)
+	e.w.writeBits(uint64(lead), 5)
+	// sig is in [1,64]; store sig-1 in 6 bits.
+	e.w.writeBits(uint64(sig-1), 6)
+	e.w.writeBits(xor>>trail, uint(sig))
+}
+
+// Bytes returns the compressed payload. The encoder remains usable.
+func (e *Encoder) Bytes() []byte {
+	out := make([]byte, len(e.w.bytes()))
+	copy(out, e.w.bytes())
+	return out
+}
+
+// Decode decompresses a payload produced by Encoder containing n samples.
+func Decode(data []byte, n int) ([]Sample, error) {
+	out := make([]Sample, 0, n)
+	it := NewIterator(data, n)
+	for it.Next() {
+		out = append(out, it.Sample())
+	}
+	if it.Err() != nil {
+		return nil, it.Err()
+	}
+	if len(out) != n {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}
+
+// Iterator streams samples out of a compressed payload without materializing
+// the whole slice.
+type Iterator struct {
+	r       *bitReader
+	n, i    int
+	t       int64
+	d       int64
+	v       uint64
+	leading uint8
+	sigbits uint8
+	cur     Sample
+	err     error
+}
+
+// NewIterator returns an iterator over a payload with n samples.
+func NewIterator(data []byte, n int) *Iterator {
+	return &Iterator{r: newBitReader(data), n: n, leading: 0xff}
+}
+
+// Next advances to the next sample, returning false at the end or on error.
+func (it *Iterator) Next() bool {
+	if it.err != nil || it.i >= it.n {
+		return false
+	}
+	switch it.i {
+	case 0:
+		ts, err := it.r.readBits(64)
+		if err != nil {
+			it.err = ErrCorrupt
+			return false
+		}
+		vb, err := it.r.readBits(64)
+		if err != nil {
+			it.err = ErrCorrupt
+			return false
+		}
+		it.t = int64(ts)
+		it.v = vb
+	default:
+		d, err := it.readVarDelta()
+		if err != nil {
+			it.err = ErrCorrupt
+			return false
+		}
+		if it.i == 1 {
+			it.d = d
+		} else {
+			it.d += d
+		}
+		it.t += it.d
+		if err := it.readValue(); err != nil {
+			it.err = ErrCorrupt
+			return false
+		}
+	}
+	it.cur = Sample{TS: it.t, Value: math.Float64frombits(it.v)}
+	it.i++
+	return true
+}
+
+// Sample returns the current sample after a successful Next.
+func (it *Iterator) Sample() Sample { return it.cur }
+
+// Err returns the first decoding error encountered.
+func (it *Iterator) Err() error { return it.err }
+
+func (it *Iterator) readVarDelta() (int64, error) {
+	b, err := it.r.readBit()
+	if err != nil {
+		return 0, err
+	}
+	if !b {
+		return 0, nil
+	}
+	// Count additional prefix ones (max 3 more).
+	ones := 1
+	for ones < 4 {
+		b, err = it.r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		if !b {
+			break
+		}
+		ones++
+	}
+	switch ones {
+	case 1:
+		v, err := it.r.readBits(7)
+		if err != nil {
+			return 0, err
+		}
+		return int64(v) - 63, nil
+	case 2:
+		v, err := it.r.readBits(9)
+		if err != nil {
+			return 0, err
+		}
+		return int64(v) - 255, nil
+	case 3:
+		v, err := it.r.readBits(12)
+		if err != nil {
+			return 0, err
+		}
+		return int64(v) - 2047, nil
+	default:
+		v, err := it.r.readBits(64)
+		if err != nil {
+			return 0, err
+		}
+		return int64(v), nil
+	}
+}
+
+func (it *Iterator) readValue() error {
+	b, err := it.r.readBit()
+	if err != nil {
+		return err
+	}
+	if !b {
+		return nil // identical value
+	}
+	ctrl, err := it.r.readBit()
+	if err != nil {
+		return err
+	}
+	if ctrl {
+		lead, err := it.r.readBits(5)
+		if err != nil {
+			return err
+		}
+		sigm1, err := it.r.readBits(6)
+		if err != nil {
+			return err
+		}
+		it.leading = uint8(lead)
+		it.sigbits = uint8(sigm1) + 1
+	} else if it.leading == 0xff {
+		return ErrCorrupt // window reuse before any window was defined
+	}
+	xbits, err := it.r.readBits(uint(it.sigbits))
+	if err != nil {
+		return err
+	}
+	shift := 64 - uint(it.leading) - uint(it.sigbits)
+	it.v ^= xbits << shift
+	return nil
+}

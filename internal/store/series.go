@@ -1,0 +1,162 @@
+package store
+
+import (
+	"errors"
+	"sort"
+)
+
+// chunkTargetSamples is the flush threshold of the in-progress chunk.
+const chunkTargetSamples = 720 // one month of hourly readings
+
+// chunk is an immutable compressed block of samples.
+type chunk struct {
+	minTS, maxTS int64
+	count        int
+	payload      []byte
+}
+
+func (c *chunk) samples() ([]Sample, error) {
+	return Decode(c.payload, c.count)
+}
+
+// Series is an append-only compressed time series for one meter.
+// It is not internally synchronized; Store serializes access.
+type Series struct {
+	MeterID int64
+	sealed  []*chunk
+	head    *Encoder
+	total   int
+}
+
+// NewSeries returns an empty series for the given meter.
+func NewSeries(meterID int64) *Series {
+	return &Series{MeterID: meterID, head: NewEncoder()}
+}
+
+// Len returns the total number of stored samples.
+func (s *Series) Len() int { return s.total }
+
+// LastTS returns the most recent timestamp, or 0 when empty.
+func (s *Series) LastTS() int64 {
+	if s.head.Len() > 0 {
+		return s.head.LastTS()
+	}
+	if n := len(s.sealed); n > 0 {
+		return s.sealed[n-1].maxTS
+	}
+	return 0
+}
+
+// Append adds one sample. Timestamps must be strictly increasing across the
+// series lifetime.
+func (s *Series) Append(smp Sample) error {
+	if s.total > 0 && smp.TS <= s.LastTS() {
+		return ErrOutOfOrder
+	}
+	if err := s.head.Append(smp); err != nil {
+		return err
+	}
+	s.total++
+	if s.head.Len() >= chunkTargetSamples {
+		s.seal()
+	}
+	return nil
+}
+
+// seal freezes the head encoder into an immutable chunk.
+func (s *Series) seal() {
+	if s.head.Len() == 0 {
+		return
+	}
+	payload := s.head.Bytes()
+	samples, err := Decode(payload, s.head.Len())
+	if err != nil || len(samples) == 0 {
+		// A decode failure here indicates an encoder bug; keep data raw in
+		// the head rather than lose it. This path is exercised in tests via
+		// corruption injection only.
+		return
+	}
+	s.sealed = append(s.sealed, &chunk{
+		minTS:   samples[0].TS,
+		maxTS:   samples[len(samples)-1].TS,
+		count:   len(samples),
+		payload: payload,
+	})
+	s.head = NewEncoder()
+}
+
+// CompressedBytes returns the total compressed payload size in bytes.
+func (s *Series) CompressedBytes() int {
+	n := s.head.SizeBytes()
+	for _, c := range s.sealed {
+		n += len(c.payload)
+	}
+	return n
+}
+
+// Range returns all samples with from <= TS < to, in timestamp order.
+func (s *Series) Range(from, to int64) ([]Sample, error) {
+	if to <= from {
+		return nil, nil
+	}
+	var out []Sample
+	for _, c := range s.sealed {
+		if c.maxTS < from || c.minTS >= to {
+			continue
+		}
+		samples, err := c.samples()
+		if err != nil {
+			return nil, err
+		}
+		// Binary search the start within the chunk.
+		i := sort.Search(len(samples), func(k int) bool { return samples[k].TS >= from })
+		for ; i < len(samples) && samples[i].TS < to; i++ {
+			out = append(out, samples[i])
+		}
+	}
+	if s.head.Len() > 0 {
+		headSamples, err := Decode(s.head.Bytes(), s.head.Len())
+		if err != nil {
+			return nil, err
+		}
+		for _, smp := range headSamples {
+			if smp.TS >= from && smp.TS < to {
+				out = append(out, smp)
+			}
+		}
+	}
+	return out, nil
+}
+
+// All returns every sample in order.
+func (s *Series) All() ([]Sample, error) {
+	if s.total == 0 {
+		return nil, nil
+	}
+	return s.Range(minInt64, maxInt64)
+}
+
+const (
+	minInt64 = -1 << 63
+	maxInt64 = 1<<63 - 1
+)
+
+// ErrEmptySeries is returned by operations requiring data.
+var ErrEmptySeries = errors.New("store: empty series")
+
+// Bounds returns the first and last timestamps.
+func (s *Series) Bounds() (first, last int64, err error) {
+	if s.total == 0 {
+		return 0, 0, ErrEmptySeries
+	}
+	if len(s.sealed) > 0 {
+		first = s.sealed[0].minTS
+	} else {
+		headSamples, derr := Decode(s.head.Bytes(), s.head.Len())
+		if derr != nil {
+			return 0, 0, derr
+		}
+		first = headSamples[0].TS
+	}
+	return first, s.LastTS(), nil
+}

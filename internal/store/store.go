@@ -1,0 +1,491 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"vap/internal/geo"
+	"vap/internal/index"
+)
+
+func float64Bits(f float64) uint64     { return math.Float64bits(f) }
+func float64FromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+func pointFromBits(lon, lat uint64) geo.Point {
+	return geo.Point{Lon: float64FromBits(lon), Lat: float64FromBits(lat)}
+}
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the durability directory. Empty means a purely in-memory store
+	// with no WAL or snapshots.
+	Dir string
+	// SyncEveryAppend fsyncs the WAL after every sample; defaults to false
+	// (the WAL is flushed on Snapshot/Close and buffered in between).
+	SyncEveryAppend bool
+}
+
+// Store is the embedded spatio-temporal database: a catalog of meters with
+// a spatial index, one compressed time series per meter, and optional
+// durability (WAL + snapshots). It is safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	catalog *Catalog
+	series  map[int64]*Series
+	wal     *WAL
+	opts    Options
+}
+
+// Open creates a Store. If opts.Dir is non-empty, it loads the latest
+// snapshot (if any) and replays the WAL on top of it.
+func Open(opts Options) (*Store, error) {
+	s := &Store{
+		catalog: NewCatalog(),
+		series:  make(map[int64]*Series),
+		opts:    opts,
+	}
+	if opts.Dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	snapPath := filepath.Join(opts.Dir, "snapshot.vap")
+	if _, err := os.Stat(snapPath); err == nil {
+		if err := s.loadSnapshot(snapPath); err != nil {
+			return nil, fmt.Errorf("store: loading snapshot: %w", err)
+		}
+	}
+	walPath := filepath.Join(opts.Dir, "wal.log")
+	err := ReplayWAL(walPath,
+		func(m Meter) error { return s.putMeterLocked(m) },
+		func(id int64, smp Sample) error {
+			// Replay may overlap the snapshot; skip stale samples.
+			err := s.appendLocked(id, smp)
+			if err == ErrOutOfOrder || err == ErrUnknownMeter {
+				return nil
+			}
+			return err
+		})
+	if err != nil {
+		return nil, fmt.Errorf("store: replaying WAL: %w", err)
+	}
+	wal, err := OpenWAL(walPath)
+	if err != nil {
+		return nil, err
+	}
+	s.wal = wal
+	return s, nil
+}
+
+// ErrUnknownMeter is returned when appending to an unregistered meter.
+var ErrUnknownMeter = fmt.Errorf("store: unknown meter")
+
+// Close flushes the WAL and releases resources.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		return s.wal.Close()
+	}
+	return nil
+}
+
+// Catalog exposes the meter metadata registry.
+func (s *Store) Catalog() *Catalog { return s.catalog }
+
+// PutMeter registers a meter and creates its (empty) series.
+func (s *Store) PutMeter(m Meter) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.putMeterLocked(m); err != nil {
+		return err
+	}
+	if s.wal != nil {
+		if err := s.wal.AppendMeter(m); err != nil {
+			return err
+		}
+		if s.opts.SyncEveryAppend {
+			return s.wal.Sync()
+		}
+	}
+	return nil
+}
+
+func (s *Store) putMeterLocked(m Meter) error {
+	if err := s.catalog.Put(m); err != nil {
+		return err
+	}
+	if _, ok := s.series[m.ID]; !ok {
+		s.series[m.ID] = NewSeries(m.ID)
+	}
+	return nil
+}
+
+// Append stores one sample for a registered meter.
+func (s *Store) Append(meterID int64, smp Sample) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(meterID, smp); err != nil {
+		return err
+	}
+	if s.wal != nil {
+		if err := s.wal.AppendSample(meterID, smp); err != nil {
+			return err
+		}
+		if s.opts.SyncEveryAppend {
+			return s.wal.Sync()
+		}
+	}
+	return nil
+}
+
+func (s *Store) appendLocked(meterID int64, smp Sample) error {
+	ser, ok := s.series[meterID]
+	if !ok {
+		return ErrUnknownMeter
+	}
+	return ser.Append(smp)
+}
+
+// AppendBatch stores a batch of in-order samples for one meter, amortizing
+// lock and WAL overhead. It stops at the first error, returning the number
+// of samples stored.
+func (s *Store) AppendBatch(meterID int64, smps []Sample) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ser, ok := s.series[meterID]
+	if !ok {
+		return 0, ErrUnknownMeter
+	}
+	for i, smp := range smps {
+		if err := ser.Append(smp); err != nil {
+			return i, err
+		}
+		if s.wal != nil {
+			if err := s.wal.AppendSample(meterID, smp); err != nil {
+				return i, err
+			}
+		}
+	}
+	if s.wal != nil && s.opts.SyncEveryAppend {
+		return len(smps), s.wal.Sync()
+	}
+	return len(smps), nil
+}
+
+// Range returns the samples of one meter with from <= TS < to.
+func (s *Store) Range(meterID int64, from, to int64) ([]Sample, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ser, ok := s.series[meterID]
+	if !ok {
+		return nil, ErrUnknownMeter
+	}
+	return ser.Range(from, to)
+}
+
+// SeriesLen returns the number of samples stored for a meter.
+func (s *Store) SeriesLen(meterID int64) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ser, ok := s.series[meterID]
+	if !ok {
+		return 0, ErrUnknownMeter
+	}
+	return ser.Len(), nil
+}
+
+// Bounds returns the first and last timestamps of a meter's series.
+func (s *Store) Bounds(meterID int64) (int64, int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ser, ok := s.series[meterID]
+	if !ok {
+		return 0, 0, ErrUnknownMeter
+	}
+	return ser.Bounds()
+}
+
+// TimeBounds returns the min first and max last timestamp across all
+// non-empty series; ok is false when no data is stored.
+func (s *Store) TimeBounds() (first, last int64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	first, last = maxInt64, minInt64
+	for _, ser := range s.series {
+		f, l, err := ser.Bounds()
+		if err != nil {
+			continue
+		}
+		if f < first {
+			first = f
+		}
+		if l > last {
+			last = l
+		}
+		ok = true
+	}
+	if !ok {
+		return 0, 0, false
+	}
+	return first, last, true
+}
+
+// Stats reports storage totals.
+type Stats struct {
+	Meters          int
+	Samples         int
+	CompressedBytes int
+	RawBytes        int // samples * 16 (8B ts + 8B value)
+}
+
+// Stats returns aggregate storage statistics.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{Meters: s.catalog.Len()}
+	for _, ser := range s.series {
+		st.Samples += ser.Len()
+		st.CompressedBytes += ser.CompressedBytes()
+	}
+	st.RawBytes = st.Samples * 16
+	return st
+}
+
+// Within returns meter IDs inside a geographic box.
+func (s *Store) Within(box geo.BBox) []int64 { return s.catalog.Within(box) }
+
+// Near returns up to k nearest meters to p.
+func (s *Store) Near(p geo.Point, k int) []index.Neighbor { return s.catalog.Near(p, k) }
+
+// --- Snapshots ---------------------------------------------------------
+
+var snapMagic = [4]byte{'V', 'A', 'P', 'S'}
+
+// Snapshot atomically writes the full dataset to Dir/snapshot.vap and
+// truncates the WAL. It is a no-op error for in-memory stores.
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.opts.Dir == "" {
+		return fmt.Errorf("store: snapshot requires a durability directory")
+	}
+	tmp := filepath.Join(s.opts.Dir, "snapshot.vap.tmp")
+	final := filepath.Join(s.opts.Dir, "snapshot.vap")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	if err := s.writeSnapshot(w); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	if s.wal != nil {
+		return s.wal.Truncate()
+	}
+	return nil
+}
+
+// writeSnapshot serializes: magic, meter count, meters, then per-meter
+// sample runs (count + raw samples) with a trailing CRC of everything.
+func (s *Store) writeSnapshot(w io.Writer) error {
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+	if _, err := mw.Write(snapMagic[:]); err != nil {
+		return err
+	}
+	meters := s.catalog.All()
+	if err := binary.Write(mw, binary.LittleEndian, uint32(len(meters))); err != nil {
+		return err
+	}
+	for _, m := range meters {
+		zone := []byte(m.Zone)
+		if err := binary.Write(mw, binary.LittleEndian, m.ID); err != nil {
+			return err
+		}
+		if err := binary.Write(mw, binary.LittleEndian, m.Location.Lon); err != nil {
+			return err
+		}
+		if err := binary.Write(mw, binary.LittleEndian, m.Location.Lat); err != nil {
+			return err
+		}
+		if err := binary.Write(mw, binary.LittleEndian, uint16(len(zone))); err != nil {
+			return err
+		}
+		if _, err := mw.Write(zone); err != nil {
+			return err
+		}
+		ser := s.series[m.ID]
+		var samples []Sample
+		if ser != nil {
+			var err error
+			samples, err = ser.All()
+			if err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(mw, binary.LittleEndian, uint32(len(samples))); err != nil {
+			return err
+		}
+		for _, smp := range samples {
+			if err := binary.Write(mw, binary.LittleEndian, smp.TS); err != nil {
+				return err
+			}
+			if err := binary.Write(mw, binary.LittleEndian, smp.Value); err != nil {
+				return err
+			}
+		}
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	_, err := w.Write(tail[:])
+	return err
+}
+
+func (s *Store) loadSnapshot(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(raw) < 12 {
+		return ErrCorrupt
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return fmt.Errorf("store: snapshot checksum mismatch")
+	}
+	r := &sliceReader{data: body}
+	var magic [4]byte
+	if err := r.read(magic[:]); err != nil || magic != snapMagic {
+		return ErrCorrupt
+	}
+	nMeters, err := r.uint32()
+	if err != nil {
+		return ErrCorrupt
+	}
+	for i := uint32(0); i < nMeters; i++ {
+		id, err := r.int64()
+		if err != nil {
+			return ErrCorrupt
+		}
+		lon, err := r.float64()
+		if err != nil {
+			return ErrCorrupt
+		}
+		lat, err := r.float64()
+		if err != nil {
+			return ErrCorrupt
+		}
+		zlen, err := r.uint16()
+		if err != nil {
+			return ErrCorrupt
+		}
+		zone := make([]byte, zlen)
+		if err := r.read(zone); err != nil {
+			return ErrCorrupt
+		}
+		m := Meter{ID: id, Location: geo.Point{Lon: lon, Lat: lat}, Zone: ZoneType(zone)}
+		if err := s.putMeterLocked(m); err != nil {
+			return err
+		}
+		nSamples, err := r.uint32()
+		if err != nil {
+			return ErrCorrupt
+		}
+		ser := s.series[id]
+		for j := uint32(0); j < nSamples; j++ {
+			ts, err := r.int64()
+			if err != nil {
+				return ErrCorrupt
+			}
+			v, err := r.float64()
+			if err != nil {
+				return ErrCorrupt
+			}
+			if err := ser.Append(Sample{TS: ts, Value: v}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sliceReader reads little-endian primitives from a byte slice.
+type sliceReader struct {
+	data []byte
+	off  int
+}
+
+func (r *sliceReader) read(p []byte) error {
+	if r.off+len(p) > len(r.data) {
+		return io.ErrUnexpectedEOF
+	}
+	copy(p, r.data[r.off:])
+	r.off += len(p)
+	return nil
+}
+
+func (r *sliceReader) uint32() (uint32, error) {
+	var b [4]byte
+	if err := r.read(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func (r *sliceReader) uint16() (uint16, error) {
+	var b [2]byte
+	if err := r.read(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b[:]), nil
+}
+
+func (r *sliceReader) int64() (int64, error) {
+	var b [8]byte
+	if err := r.read(b[:]); err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(b[:])), nil
+}
+
+func (r *sliceReader) float64() (float64, error) {
+	v, err := r.int64()
+	return math.Float64frombits(uint64(v)), err
+}
+
+// MeterIDsSorted returns all meter IDs ascending; convenience for callers
+// iterating deterministically.
+func (s *Store) MeterIDsSorted() []int64 {
+	ids := s.catalog.IDs()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

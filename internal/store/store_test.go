@@ -1,0 +1,446 @@
+package store
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"vap/internal/geo"
+)
+
+func testMeter(id int64) Meter {
+	return Meter{
+		ID:       id,
+		Location: geo.Point{Lon: 12.5 + float64(id)*0.001, Lat: 55.6},
+		Zone:     ZoneResidential,
+	}
+}
+
+func TestSeriesAppendRange(t *testing.T) {
+	s := NewSeries(1)
+	for i := 0; i < 2000; i++ {
+		if err := s.Append(Sample{TS: int64(i) * 3600, Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 2000 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	got, err := s.Range(100*3600, 110*3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("range len = %d, want 10", len(got))
+	}
+	for i, smp := range got {
+		if smp.TS != int64(100+i)*3600 || smp.Value != float64(100+i) {
+			t.Fatalf("range[%d] = %+v", i, smp)
+		}
+	}
+	// Half-open: 'to' excluded.
+	got, _ = s.Range(0, 3600)
+	if len(got) != 1 || got[0].TS != 0 {
+		t.Fatalf("half-open range = %v", got)
+	}
+	// Empty and inverted windows.
+	if got, _ := s.Range(50, 50); got != nil {
+		t.Error("empty window should return nil")
+	}
+	if got, _ := s.Range(100, 50); got != nil {
+		t.Error("inverted window should return nil")
+	}
+}
+
+func TestSeriesSpansChunks(t *testing.T) {
+	s := NewSeries(1)
+	n := chunkTargetSamples*3 + 17
+	for i := 0; i < n; i++ {
+		if err := s.Append(Sample{TS: int64(i), Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, err := s.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != n {
+		t.Fatalf("all = %d, want %d", len(all), n)
+	}
+	for i, smp := range all {
+		if smp.TS != int64(i) {
+			t.Fatalf("all[%d].TS = %d", i, smp.TS)
+		}
+	}
+	// A range crossing a chunk boundary.
+	got, _ := s.Range(int64(chunkTargetSamples-5), int64(chunkTargetSamples+5))
+	if len(got) != 10 {
+		t.Fatalf("cross-chunk range = %d, want 10", len(got))
+	}
+}
+
+func TestSeriesBounds(t *testing.T) {
+	s := NewSeries(1)
+	if _, _, err := s.Bounds(); err != ErrEmptySeries {
+		t.Errorf("empty bounds err = %v", err)
+	}
+	_ = s.Append(Sample{TS: 5, Value: 1})
+	_ = s.Append(Sample{TS: 9, Value: 2})
+	f, l, err := s.Bounds()
+	if err != nil || f != 5 || l != 9 {
+		t.Errorf("bounds = %d,%d (%v)", f, l, err)
+	}
+}
+
+func TestSeriesOutOfOrder(t *testing.T) {
+	s := NewSeries(1)
+	_ = s.Append(Sample{TS: 10, Value: 1})
+	if err := s.Append(Sample{TS: 10, Value: 2}); err != ErrOutOfOrder {
+		t.Errorf("err = %v", err)
+	}
+	if s.Len() != 1 {
+		t.Errorf("failed append changed len: %d", s.Len())
+	}
+}
+
+func TestCatalogCRUD(t *testing.T) {
+	c := NewCatalog()
+	if err := c.Put(testMeter(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(testMeter(2)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	m, ok := c.Get(1)
+	if !ok || m.ID != 1 {
+		t.Fatalf("get: %v %v", m, ok)
+	}
+	if _, ok := c.Get(99); ok {
+		t.Error("get missing should fail")
+	}
+	// Replace relocates in the index.
+	moved := testMeter(1)
+	moved.Location = geo.Point{Lon: 13.0, Lat: 56.0}
+	if err := c.Put(moved); err != nil {
+		t.Fatal(err)
+	}
+	ids := c.Within(geo.NewBBox(geo.Point{Lon: 12.9, Lat: 55.9}, geo.Point{Lon: 13.1, Lat: 56.1}))
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("relocated search = %v", ids)
+	}
+	if !c.Delete(2) {
+		t.Fatal("delete failed")
+	}
+	if c.Delete(2) {
+		t.Fatal("double delete should fail")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len after delete = %d", c.Len())
+	}
+}
+
+func TestCatalogRejectsInvalidLocation(t *testing.T) {
+	c := NewCatalog()
+	bad := Meter{ID: 1, Location: geo.Point{Lon: 999, Lat: 0}}
+	if err := c.Put(bad); err == nil {
+		t.Error("invalid location should fail")
+	}
+}
+
+func TestCatalogByZoneAndNear(t *testing.T) {
+	c := NewCatalog()
+	for i := int64(1); i <= 10; i++ {
+		m := testMeter(i)
+		if i%2 == 0 {
+			m.Zone = ZoneCommercial
+		}
+		if err := c.Put(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	com := c.ByZone(ZoneCommercial)
+	if len(com) != 5 {
+		t.Fatalf("commercial = %d, want 5", len(com))
+	}
+	near := c.Near(geo.Point{Lon: 12.5, Lat: 55.6}, 3)
+	if len(near) != 3 {
+		t.Fatalf("near = %d", len(near))
+	}
+	if near[0].ID != 1 { // closest to lon offset 0.001*1
+		t.Errorf("nearest = %d, want 1", near[0].ID)
+	}
+}
+
+func TestStoreInMemoryBasics(t *testing.T) {
+	st, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.PutMeter(testMeter(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(1, Sample{TS: 100, Value: 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(99, Sample{TS: 100, Value: 1}); err != ErrUnknownMeter {
+		t.Errorf("unknown meter err = %v", err)
+	}
+	got, err := st.Range(1, 0, 200)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("range: %v %v", got, err)
+	}
+	n, err := st.SeriesLen(1)
+	if err != nil || n != 1 {
+		t.Fatalf("series len = %d (%v)", n, err)
+	}
+	stats := st.Stats()
+	if stats.Meters != 1 || stats.Samples != 1 || stats.RawBytes != 16 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if err := st.Snapshot(); err == nil {
+		t.Error("snapshot of in-memory store should fail")
+	}
+}
+
+func TestStoreAppendBatch(t *testing.T) {
+	st, _ := Open(Options{})
+	defer st.Close()
+	_ = st.PutMeter(testMeter(1))
+	batch := make([]Sample, 100)
+	for i := range batch {
+		batch[i] = Sample{TS: int64(i), Value: float64(i)}
+	}
+	n, err := st.AppendBatch(1, batch)
+	if err != nil || n != 100 {
+		t.Fatalf("batch: n=%d err=%v", n, err)
+	}
+	// Batch with an out-of-order element stops midway.
+	bad := []Sample{{TS: 200, Value: 1}, {TS: 150, Value: 2}}
+	n, err = st.AppendBatch(1, bad)
+	if err != ErrOutOfOrder || n != 1 {
+		t.Fatalf("bad batch: n=%d err=%v", n, err)
+	}
+}
+
+func TestStoreTimeBounds(t *testing.T) {
+	st, _ := Open(Options{})
+	defer st.Close()
+	if _, _, ok := st.TimeBounds(); ok {
+		t.Error("empty store should have no bounds")
+	}
+	_ = st.PutMeter(testMeter(1))
+	_ = st.PutMeter(testMeter(2))
+	_ = st.Append(1, Sample{TS: 100, Value: 1})
+	_ = st.Append(2, Sample{TS: 50, Value: 1})
+	_ = st.Append(2, Sample{TS: 300, Value: 1})
+	f, l, ok := st.TimeBounds()
+	if !ok || f != 50 || l != 300 {
+		t.Errorf("bounds = %d,%d,%v", f, l, ok)
+	}
+}
+
+func TestStoreDurabilityWALReplay(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = st.PutMeter(testMeter(1))
+	for i := 0; i < 50; i++ {
+		if err := st.Append(1, Sample{TS: int64(i), Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: WAL replay must restore everything.
+	st2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got, err := st2.Range(1, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("replayed %d samples, want 50", len(got))
+	}
+	if m, ok := st2.Catalog().Get(1); !ok || m.Zone != ZoneResidential {
+		t.Fatalf("meter not replayed: %v %v", m, ok)
+	}
+}
+
+func TestStoreSnapshotAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := int64(1); id <= 5; id++ {
+		_ = st.PutMeter(testMeter(id))
+		for i := 0; i < 100; i++ {
+			_ = st.Append(id, Sample{TS: int64(i) * 60, Value: float64(i) + float64(id)})
+		}
+	}
+	if err := st.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// WAL must be truncated after a snapshot.
+	walInfo, err := os.Stat(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if walInfo.Size() > 16 {
+		t.Errorf("wal size after snapshot = %d, want header only", walInfo.Size())
+	}
+	// Post-snapshot appends land in the WAL.
+	_ = st.Append(1, Sample{TS: 100 * 60, Value: 999})
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Stats().Meters != 5 {
+		t.Fatalf("meters = %d", st2.Stats().Meters)
+	}
+	got, _ := st2.Range(1, 0, 1<<40)
+	if len(got) != 101 {
+		t.Fatalf("samples after snapshot+wal = %d, want 101", len(got))
+	}
+	if got[100].Value != 999 {
+		t.Fatalf("post-snapshot sample = %v", got[100])
+	}
+}
+
+func TestStoreSnapshotCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := Open(Options{Dir: dir})
+	_ = st.PutMeter(testMeter(1))
+	_ = st.Append(1, Sample{TS: 1, Value: 2})
+	_ = st.Snapshot()
+	_ = st.Close()
+	// Flip a byte in the snapshot body.
+	path := filepath.Join(dir, "snapshot.vap")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Error("corrupted snapshot should fail to load")
+	}
+}
+
+func TestWALTornTailIgnored(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := Open(Options{Dir: dir})
+	_ = st.PutMeter(testMeter(1))
+	for i := 0; i < 20; i++ {
+		_ = st.Append(1, Sample{TS: int64(i), Value: float64(i)})
+	}
+	_ = st.Close()
+	// Truncate the WAL mid-record to simulate a crash during write.
+	path := filepath.Join(dir, "wal.log")
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("torn tail must not break recovery: %v", err)
+	}
+	defer st2.Close()
+	got, _ := st2.Range(1, 0, 1000)
+	if len(got) != 19 { // last record lost, everything else intact
+		t.Fatalf("recovered %d samples, want 19", len(got))
+	}
+}
+
+func TestWALRejectsForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	if err := os.WriteFile(path, []byte("not a wal at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWAL(path); err == nil {
+		t.Error("foreign file should be rejected")
+	}
+}
+
+func TestStoreConcurrentReadersAndWriter(t *testing.T) {
+	st, _ := Open(Options{})
+	defer st.Close()
+	for id := int64(1); id <= 4; id++ {
+		_ = st.PutMeter(testMeter(id))
+	}
+	var wg sync.WaitGroup
+	// One writer per meter, several readers.
+	for id := int64(1); id <= 4; id++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				_ = st.Append(id, Sample{TS: int64(i), Value: float64(i)})
+			}
+		}(id)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(42)))
+			for i := 0; i < 200; i++ {
+				id := int64(rng.Intn(4) + 1)
+				_, _ = st.Range(id, 0, 1000)
+				_ = st.Stats()
+				_, _, _ = st.TimeBounds()
+			}
+		}()
+	}
+	wg.Wait()
+	for id := int64(1); id <= 4; id++ {
+		n, _ := st.SeriesLen(id)
+		if n != 500 {
+			t.Fatalf("meter %d has %d samples, want 500", id, n)
+		}
+	}
+}
+
+func TestStoreSyncEveryAppend(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir, SyncEveryAppend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = st.PutMeter(testMeter(1))
+	if err := st.Append(1, Sample{TS: 1, Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Without Close, the record must already be on disk (synced).
+	st2Path := filepath.Join(dir, "wal.log")
+	info, err := os.Stat(st2Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() <= 4 {
+		t.Errorf("wal not synced: size = %d", info.Size())
+	}
+	_ = st.Close()
+}

@@ -1,0 +1,287 @@
+// Package stream implements demo scenario S2 step 3: "if the data are fed
+// to the system in a short time interval, e.g., every 10 seconds, we can
+// observe the changes of patterns in near real time." A Replayer feeds
+// stored or generated readings into the store in wall-clock ticks, an
+// incremental density tracker maintains the current KDE map online, and a
+// Hub fans state updates out to subscribers (the SSE endpoint).
+package stream
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"time"
+
+	"vap/internal/geo"
+	"vap/internal/kde"
+	"vap/internal/store"
+)
+
+// Event is one batch of readings that became visible at Seq.
+type Event struct {
+	Seq      int64          `json:"seq"`
+	DataTime int64          `json:"data_time"` // timestamp of the replayed slice
+	Count    int            `json:"count"`     // readings in the batch
+	Snapshot *kde.Field     `json:"-"`         // current density map
+	Summary  DensitySummary `json:"summary"`
+}
+
+// DensitySummary is the scalar state pushed to subscribers.
+type DensitySummary struct {
+	MaxDensity float64   `json:"max_density"`
+	HotCell    geo.Point `json:"hot_cell"` // center of the densest cell
+	Total      float64   `json:"total"`
+}
+
+// Hub broadcasts events to any number of subscribers. Slow subscribers
+// drop events rather than blocking the replayer.
+type Hub struct {
+	mu   sync.Mutex
+	subs map[chan Event]struct{}
+	last Event
+	has  bool
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub { return &Hub{subs: make(map[chan Event]struct{})} }
+
+// Subscribe returns a channel of events and an unsubscribe function. The
+// most recent event (if any) is delivered immediately.
+func (h *Hub) Subscribe() (<-chan Event, func()) {
+	ch := make(chan Event, 16)
+	h.mu.Lock()
+	h.subs[ch] = struct{}{}
+	if h.has {
+		ch <- h.last
+	}
+	h.mu.Unlock()
+	return ch, func() {
+		h.mu.Lock()
+		if _, ok := h.subs[ch]; ok {
+			delete(h.subs, ch)
+			close(ch)
+		}
+		h.mu.Unlock()
+	}
+}
+
+// Publish fans an event out; full subscriber buffers drop it.
+func (h *Hub) Publish(e Event) {
+	h.mu.Lock()
+	h.last = e
+	h.has = true
+	for ch := range h.subs {
+		select {
+		case ch <- e:
+		default: // drop for slow consumer
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Subscribers returns the current subscriber count.
+func (h *Hub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// Tracker maintains an online KDE of the most recent reading per meter,
+// updated incrementally: replacing one meter's weight only touches the
+// kernel footprint of that meter, not the whole map.
+type Tracker struct {
+	mu     sync.Mutex
+	field  *kde.Field
+	h      float64
+	points map[int64]kde.WeightedPoint // last contribution per meter
+	n      int                         // population size used for 1/n scaling
+}
+
+// NewTracker builds a tracker over box with the given grid and bandwidth.
+// n is the (fixed) population size in the 1/n normalization of Eq. 3.
+func NewTracker(box geo.BBox, cols, rows int, bandwidth float64, n int) (*Tracker, error) {
+	if bandwidth <= 0 {
+		return nil, errors.New("stream: bandwidth must be positive")
+	}
+	if n <= 0 {
+		return nil, errors.New("stream: population size must be positive")
+	}
+	if box.IsEmpty() {
+		return nil, errors.New("stream: empty box")
+	}
+	if cols <= 0 {
+		cols = 64
+	}
+	if rows <= 0 {
+		rows = 64
+	}
+	return &Tracker{
+		field: &kde.Field{
+			Box: box, Cols: cols, Rows: rows,
+			Values:    make([]float64, cols*rows),
+			Bandwidth: bandwidth, Kernel: kde.KernelGaussian,
+		},
+		h:      bandwidth,
+		points: make(map[int64]kde.WeightedPoint),
+		n:      n,
+	}, nil
+}
+
+// Update replaces the contribution of meterID with a new weighted location.
+func (t *Tracker) Update(meterID int64, p kde.WeightedPoint) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if old, ok := t.points[meterID]; ok {
+		t.apply(old, -1)
+	}
+	t.points[meterID] = p
+	t.apply(p, +1)
+}
+
+// apply adds sign * the kernel footprint of p to the field.
+func (t *Tracker) apply(p kde.WeightedPoint, sign float64) {
+	f := t.field
+	if p.Weight == 0 {
+		return
+	}
+	cellW := (f.Box.Max.Lon - f.Box.Min.Lon) / float64(f.Cols)
+	cellH := (f.Box.Max.Lat - f.Box.Min.Lat) / float64(f.Rows)
+	// Same 5-bandwidth truncation as the batch KDE so online and batch
+	// fields agree to ~1e-5 of the peak.
+	support := 5 * t.h
+	c0 := clampInt(int((p.Loc.Lon-support-f.Box.Min.Lon)/cellW), 0, f.Cols-1)
+	c1 := clampInt(int((p.Loc.Lon+support-f.Box.Min.Lon)/cellW), 0, f.Cols-1)
+	r0 := clampInt(int((p.Loc.Lat-support-f.Box.Min.Lat)/cellH), 0, f.Rows-1)
+	r1 := clampInt(int((p.Loc.Lat+support-f.Box.Min.Lat)/cellH), 0, f.Rows-1)
+	inv := sign * p.Weight / (float64(t.n) * t.h * t.h)
+	for r := r0; r <= r1; r++ {
+		cy := f.Box.Min.Lat + (float64(r)+0.5)*cellH
+		dy := (cy - p.Loc.Lat) / t.h
+		for c := c0; c <= c1; c++ {
+			cx := f.Box.Min.Lon + (float64(c)+0.5)*cellW
+			dx := (cx - p.Loc.Lon) / t.h
+			f.Values[r*f.Cols+c] += inv * gauss2(dx*dx+dy*dy)
+		}
+	}
+}
+
+func gauss2(u2 float64) float64 {
+	const inv2pi = 0.15915494309189535
+	return inv2pi * math.Exp(-u2/2)
+}
+
+// Snapshot returns a copy of the current field and its summary.
+func (t *Tracker) Snapshot() (*kde.Field, DensitySummary) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f := t.field
+	cp := &kde.Field{
+		Box: f.Box, Cols: f.Cols, Rows: f.Rows,
+		Values:    append([]float64(nil), f.Values...),
+		Bandwidth: f.Bandwidth, Kernel: f.Kernel,
+	}
+	var sum DensitySummary
+	bestIdx := 0
+	for i, v := range f.Values {
+		sum.Total += v
+		if v > sum.MaxDensity {
+			sum.MaxDensity = v
+			bestIdx = i
+		}
+	}
+	sum.HotCell = f.CellCenter(bestIdx%f.Cols, bestIdx/f.Cols)
+	return cp, sum
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Replayer feeds a dataset's readings into a store and tracker in
+// data-time order at a configurable wall-clock interval.
+type Replayer struct {
+	St       *store.Store
+	Tracker  *Tracker
+	Hub      *Hub
+	Interval time.Duration // wall-clock tick (the demo's "every 10 seconds")
+	Step     int64         // data seconds advanced per tick (e.g. 3600)
+}
+
+// Feed is one meter's reading slice the replayer serves from.
+type Feed struct {
+	MeterID int64
+	Loc     geo.Point
+	Samples []store.Sample
+}
+
+// Run replays feeds until the context is cancelled or data runs out.
+// Readings are appended to the store (if St is non-nil), pushed into the
+// tracker, and a Hub event is published per tick. Returns ticks executed.
+func (r *Replayer) Run(ctx context.Context, feeds []Feed, from, to int64) (int, error) {
+	if r.Step <= 0 {
+		r.Step = 3600
+	}
+	pos := make([]int, len(feeds))
+	// Skip to the window start.
+	for i, f := range feeds {
+		for pos[i] < len(f.Samples) && f.Samples[pos[i]].TS < from {
+			pos[i]++
+		}
+	}
+	var ticker *time.Ticker
+	if r.Interval > 0 {
+		ticker = time.NewTicker(r.Interval)
+		defer ticker.Stop()
+	}
+	ticks := 0
+	var seq int64
+	for cur := from; cur < to; cur += r.Step {
+		if err := ctx.Err(); err != nil {
+			return ticks, err
+		}
+		batch := 0
+		var lastTS int64
+		for i := range feeds {
+			f := &feeds[i]
+			for pos[i] < len(f.Samples) && f.Samples[pos[i]].TS < cur+r.Step {
+				smp := f.Samples[pos[i]]
+				pos[i]++
+				batch++
+				lastTS = smp.TS
+				if r.St != nil {
+					if err := r.St.Append(f.MeterID, smp); err != nil && err != store.ErrOutOfOrder {
+						return ticks, err
+					}
+				}
+				if r.Tracker != nil {
+					r.Tracker.Update(f.MeterID, kde.WeightedPoint{Loc: f.Loc, Weight: smp.Value})
+				}
+			}
+		}
+		seq++
+		ticks++
+		if r.Hub != nil {
+			var snap *kde.Field
+			var sum DensitySummary
+			if r.Tracker != nil {
+				snap, sum = r.Tracker.Snapshot()
+			}
+			r.Hub.Publish(Event{Seq: seq, DataTime: lastTS, Count: batch, Snapshot: snap, Summary: sum})
+		}
+		if ticker != nil {
+			select {
+			case <-ctx.Done():
+				return ticks, ctx.Err()
+			case <-ticker.C:
+			}
+		}
+	}
+	return ticks, nil
+}

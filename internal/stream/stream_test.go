@@ -1,0 +1,223 @@
+package stream
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"vap/internal/geo"
+	"vap/internal/kde"
+	"vap/internal/store"
+)
+
+func box() geo.BBox {
+	return geo.NewBBox(geo.Point{Lon: 12.4, Lat: 55.5}, geo.Point{Lon: 12.8, Lat: 55.9})
+}
+
+func TestHubSubscribePublish(t *testing.T) {
+	h := NewHub()
+	ch, cancel := h.Subscribe()
+	defer cancel()
+	if h.Subscribers() != 1 {
+		t.Fatalf("subscribers = %d", h.Subscribers())
+	}
+	h.Publish(Event{Seq: 1, Count: 5})
+	select {
+	case e := <-ch:
+		if e.Seq != 1 || e.Count != 5 {
+			t.Fatalf("event = %+v", e)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no event delivered")
+	}
+}
+
+func TestHubLateSubscriberGetsLastEvent(t *testing.T) {
+	h := NewHub()
+	h.Publish(Event{Seq: 9})
+	ch, cancel := h.Subscribe()
+	defer cancel()
+	select {
+	case e := <-ch:
+		if e.Seq != 9 {
+			t.Fatalf("replayed event = %+v", e)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("late subscriber got nothing")
+	}
+}
+
+func TestHubUnsubscribeIdempotent(t *testing.T) {
+	h := NewHub()
+	_, cancel := h.Subscribe()
+	cancel()
+	cancel() // second call must not panic
+	if h.Subscribers() != 0 {
+		t.Fatalf("subscribers = %d", h.Subscribers())
+	}
+	h.Publish(Event{Seq: 1}) // publishing with no subscribers is fine
+}
+
+func TestHubSlowSubscriberDropsNotBlocks(t *testing.T) {
+	h := NewHub()
+	_, cancel := h.Subscribe() // never drained
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			h.Publish(Event{Seq: int64(i)})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("publish blocked on slow subscriber")
+	}
+}
+
+func TestTrackerMatchesBatchKDE(t *testing.T) {
+	// Feeding each meter's latest reading through the tracker must equal a
+	// batch KDE over the same weighted points.
+	tr, err := NewTracker(box(), 48, 48, 0.02, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []kde.WeightedPoint{
+		{Loc: geo.Point{Lon: 12.5, Lat: 55.6}, Weight: 0.5},
+		{Loc: geo.Point{Lon: 12.6, Lat: 55.7}, Weight: 1.0},
+		{Loc: geo.Point{Lon: 12.7, Lat: 55.8}, Weight: 0.25},
+	}
+	for i, p := range pts {
+		// Update twice with different weights: only the last must count.
+		tr.Update(int64(i), kde.WeightedPoint{Loc: p.Loc, Weight: 99})
+		tr.Update(int64(i), p)
+	}
+	snap, _ := tr.Snapshot()
+	batch, err := kde.Estimate(pts, box(), kde.Config{Cols: 48, Rows: 48, Bandwidth: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, peak := batch.MinMax()
+	for i := range snap.Values {
+		if math.Abs(snap.Values[i]-batch.Values[i]) > 1e-6*peak {
+			t.Fatalf("cell %d: tracker %v vs batch %v", i, snap.Values[i], batch.Values[i])
+		}
+	}
+}
+
+func TestTrackerErrors(t *testing.T) {
+	if _, err := NewTracker(box(), 8, 8, 0, 3); err == nil {
+		t.Error("zero bandwidth should fail")
+	}
+	if _, err := NewTracker(box(), 8, 8, 0.01, 0); err == nil {
+		t.Error("zero population should fail")
+	}
+	if _, err := NewTracker(geo.EmptyBBox(), 8, 8, 0.01, 3); err == nil {
+		t.Error("empty box should fail")
+	}
+}
+
+func TestTrackerSnapshotIsCopy(t *testing.T) {
+	tr, _ := NewTracker(box(), 8, 8, 0.05, 1)
+	tr.Update(1, kde.WeightedPoint{Loc: geo.Point{Lon: 12.6, Lat: 55.7}, Weight: 1})
+	snap1, _ := tr.Snapshot()
+	tr.Update(1, kde.WeightedPoint{Loc: geo.Point{Lon: 12.5, Lat: 55.6}, Weight: 2})
+	snap2, _ := tr.Snapshot()
+	same := true
+	for i := range snap1.Values {
+		if snap1.Values[i] != snap2.Values[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("snapshot aliases the live field")
+	}
+}
+
+func makeFeeds(n, hours int) []Feed {
+	feeds := make([]Feed, n)
+	for i := range feeds {
+		samples := make([]store.Sample, hours)
+		for h := range samples {
+			samples[h] = store.Sample{TS: int64(h) * 3600, Value: float64(i + 1)}
+		}
+		feeds[i] = Feed{
+			MeterID: int64(i + 1),
+			Loc:     geo.Point{Lon: 12.5 + float64(i)*0.01, Lat: 55.6},
+			Samples: samples,
+		}
+	}
+	return feeds
+}
+
+func TestReplayerFeedsStoreAndHub(t *testing.T) {
+	st, err := store.Open(store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	feeds := makeFeeds(3, 24)
+	for _, f := range feeds {
+		if err := st.PutMeter(store.Meter{ID: f.MeterID, Location: f.Loc, Zone: store.ZoneResidential}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, _ := NewTracker(box(), 16, 16, 0.02, 3)
+	hub := NewHub()
+	ch, cancel := hub.Subscribe()
+	defer cancel()
+	events := 0
+	drained := make(chan struct{})
+	go func() {
+		for range ch {
+			events++
+		}
+		close(drained)
+	}()
+	rp := &Replayer{St: st, Tracker: tr, Hub: hub, Interval: 0, Step: 3600}
+	ticks, err := rp.Run(context.Background(), feeds, 0, 24*3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 24 {
+		t.Fatalf("ticks = %d, want 24", ticks)
+	}
+	cancel()
+	<-drained
+	if events == 0 {
+		t.Error("no hub events")
+	}
+	for _, f := range feeds {
+		n, err := st.SeriesLen(f.MeterID)
+		if err != nil || n != 24 {
+			t.Fatalf("meter %d stored %d samples (%v)", f.MeterID, n, err)
+		}
+	}
+}
+
+func TestReplayerWindowRespected(t *testing.T) {
+	feeds := makeFeeds(1, 48)
+	tr, _ := NewTracker(box(), 8, 8, 0.05, 1)
+	rp := &Replayer{Tracker: tr, Step: 3600}
+	ticks, err := rp.Run(context.Background(), feeds, 10*3600, 20*3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 10 {
+		t.Fatalf("ticks = %d, want 10", ticks)
+	}
+}
+
+func TestReplayerCancellation(t *testing.T) {
+	feeds := makeFeeds(1, 1000)
+	rp := &Replayer{Interval: 50 * time.Millisecond, Step: 3600}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Millisecond)
+	defer cancel()
+	_, err := rp.Run(ctx, feeds, 0, 1000*3600)
+	if err == nil {
+		t.Fatal("cancelled replayer should return an error")
+	}
+}

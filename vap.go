@@ -1,0 +1,201 @@
+// Package vap is the public API of the VAP reproduction: a visual-analysis
+// library for discovering spatio-temporal patterns in smart-meter energy
+// consumption data (Liu et al., "VAP: A Visual Analysis Tool for Energy
+// Consumption Spatio-temporal Pattern Discovery", EDBT 2020).
+//
+// The library is organized like the paper's three-layer architecture:
+//
+//   - the data layer is an embedded spatio-temporal store (compressed
+//     time series per meter, spatial R-tree over locations, optional WAL
+//     and snapshot durability) — Open/OpenInMemory;
+//   - the logic layer is the Analyzer with the two pattern-recognition
+//     models: TypicalPatterns (t-SNE/MDS dimension reduction with Pearson
+//     correlation distance, brushed-group profiling) and ShiftPatterns
+//     (Gaussian-KDE density maps, Eq. 4 demand-shift flow extraction);
+//   - the presentation layer is server-side SVG rendering plus a JSON
+//     REST/SSE web application — NewHTTPServer.
+//
+// A synthetic smart-meter generator (GenerateDataset) plants the paper's
+// five typical patterns, the "early birds" cohort, and a commercial to
+// residential evening demand shift, so every demo scenario is runnable
+// out of the box.
+//
+// Quickstart:
+//
+//	st, _ := vap.OpenInMemory()
+//	ds := vap.GenerateDataset(vap.DatasetConfig{Seed: 1, Days: 120})
+//	_ = ds.LoadInto(st)
+//	an := vap.NewAnalyzer(st)
+//	view, _ := an.TypicalPatterns(ctx, vap.TypicalConfig{})
+//	ids, rows, _ := view.SelectBrush(vap.Brush{MinX: 0.6, MinY: 0.6, MaxX: 1, MaxY: 1})
+//	profile, _ := view.Profile(rows)
+//	fmt.Println(profile.Label, len(ids))
+package vap
+
+import (
+	"net/http"
+
+	"vap/internal/api"
+	"vap/internal/core"
+	"vap/internal/gen"
+	"vap/internal/geo"
+	"vap/internal/query"
+	"vap/internal/reduce"
+	"vap/internal/store"
+	"vap/internal/stream"
+)
+
+// --- Data layer -------------------------------------------------------------
+
+// Store is the embedded spatio-temporal database.
+type Store = store.Store
+
+// StoreOptions configures durability.
+type StoreOptions = store.Options
+
+// Meter is customer metadata (location, zone).
+type Meter = store.Meter
+
+// Sample is one meter reading.
+type Sample = store.Sample
+
+// ZoneType classifies land use at a meter location.
+type ZoneType = store.ZoneType
+
+// Zone constants.
+const (
+	ZoneResidential = store.ZoneResidential
+	ZoneCommercial  = store.ZoneCommercial
+	ZoneIndustrial  = store.ZoneIndustrial
+	ZoneMixed       = store.ZoneMixed
+)
+
+// Point is a geographic location.
+type Point = geo.Point
+
+// BBox is a geographic bounding box.
+type BBox = geo.BBox
+
+// Open opens a store with the given options (set Dir for durability).
+func Open(opts StoreOptions) (*Store, error) { return store.Open(opts) }
+
+// OpenInMemory opens a volatile store (no WAL, no snapshots).
+func OpenInMemory() (*Store, error) { return store.Open(store.Options{}) }
+
+// --- Synthetic data -----------------------------------------------------------
+
+// DatasetConfig controls the synthetic smart-meter population.
+type DatasetConfig = gen.Config
+
+// Dataset is a generated population with ground-truth pattern labels.
+type Dataset = gen.Dataset
+
+// Pattern is a planted ground-truth consumption pattern.
+type Pattern = gen.Pattern
+
+// Planted pattern identities.
+const (
+	PatternBimodal      = gen.PatternBimodal
+	PatternEnergySaving = gen.PatternEnergySaving
+	PatternIdle         = gen.PatternIdle
+	PatternConstantHigh = gen.PatternConstantHigh
+	PatternSuspicious   = gen.PatternSuspicious
+	PatternEarlyBird    = gen.PatternEarlyBird
+)
+
+// GenerateDataset builds a deterministic synthetic data set with the
+// paper's planted structure.
+func GenerateDataset(cfg DatasetConfig) *Dataset { return gen.Generate(cfg) }
+
+// --- Logic layer ----------------------------------------------------------------
+
+// Analyzer is the pattern-discovery façade (the paper's models layer).
+type Analyzer = core.Analyzer
+
+// NewAnalyzer wraps a store.
+func NewAnalyzer(st *Store) *Analyzer { return core.NewAnalyzer(st) }
+
+// TypicalConfig parameterizes typical-pattern discovery.
+type TypicalConfig = core.TypicalConfig
+
+// TypicalView is the 2-D pattern navigator (view C).
+type TypicalView = core.TypicalView
+
+// Brush is a rectangular selection in the navigator.
+type Brush = core.Brush
+
+// GroupProfile is a brushed group's aggregated pattern (view B).
+type GroupProfile = core.GroupProfile
+
+// PatternLabel names a profile after the paper's canonical patterns.
+type PatternLabel = core.PatternLabel
+
+// Canonical labels.
+const (
+	LabelBimodal      = core.LabelBimodal
+	LabelEnergySaving = core.LabelEnergySaving
+	LabelIdle         = core.LabelIdle
+	LabelConstantHigh = core.LabelConstantHigh
+	LabelSuspicious   = core.LabelSuspicious
+	LabelEarlyBird    = core.LabelEarlyBird
+	LabelUnknown      = core.LabelUnknown
+)
+
+// ShiftConfig parameterizes shift-pattern discovery.
+type ShiftConfig = core.ShiftConfig
+
+// ShiftResult is a computed flow map (view A).
+type ShiftResult = core.ShiftResult
+
+// Selection filters meters and time.
+type Selection = query.Selection
+
+// Granularity is a temporal bucketing unit.
+type Granularity = query.Granularity
+
+// The paper's seven granularities.
+const (
+	GranHourly    = query.GranHourly
+	Gran4Hourly   = query.Gran4Hourly
+	GranDaily     = query.GranDaily
+	GranWeekly    = query.GranWeekly
+	GranMonthly   = query.GranMonthly
+	GranQuarterly = query.GranQuarterly
+	GranYearly    = query.GranYearly
+)
+
+// ReductionMethod selects the dimension-reduction algorithm.
+type ReductionMethod = reduce.Method
+
+// Reduction methods (S1 compares t-SNE and MDS; SMACOF and PCA are the
+// extended comparison set).
+const (
+	MethodTSNE   = reduce.MethodTSNE
+	MethodMDS    = reduce.MethodMDS
+	MethodSMACOF = reduce.MethodSMACOF
+	MethodPCA    = reduce.MethodPCA
+)
+
+// Metric selects the series dissimilarity.
+type Metric = reduce.Metric
+
+// Metrics (the paper uses Pearson correlation distance).
+const (
+	MetricPearson   = reduce.MetricPearson
+	MetricEuclidean = reduce.MetricEuclidean
+)
+
+// --- Presentation layer -----------------------------------------------------------
+
+// StreamHub broadcasts live density updates to SSE subscribers.
+type StreamHub = stream.Hub
+
+// NewStreamHub returns an empty hub.
+func NewStreamHub() *StreamHub { return stream.NewHub() }
+
+// NewHTTPServer returns the VAP web application handler: JSON REST under
+// /api/, SVG views under /view/, and the HTML shell at /. hub may be nil
+// to disable the SSE endpoint.
+func NewHTTPServer(an *Analyzer, hub *StreamHub) http.Handler {
+	return api.NewServer(an, hub).Routes()
+}
