@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net/http/httptest"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -82,6 +83,10 @@ func BenchmarkPipelineEndToEnd(b *testing.B) {
 	setupBench(b)
 	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
+		// Drop memoized results so every iteration measures real compute,
+		// not the exec-cache hit path (BenchmarkTypicalPatternsCached
+		// covers that).
+		benchData.an.Exec().Invalidate()
 		view, err := benchData.an.TypicalPatterns(ctx, core.TypicalConfig{
 			Seed: 1, Method: reduce.MethodMDS,
 		})
@@ -104,7 +109,8 @@ func BenchmarkPipelineEndToEnd(b *testing.B) {
 	}
 }
 
-// BenchmarkKDE and BenchmarkFlowMap are E2 (Figure 2).
+// BenchmarkKDE and BenchmarkFlowMap are E2 (Figure 2). The Serial/Parallel
+// pair tracks the row-band fan-out speedup of the grid evaluation.
 func BenchmarkKDE(b *testing.B) {
 	setupBench(b)
 	noon := benchNoon()
@@ -117,12 +123,20 @@ func BenchmarkKDE(b *testing.B) {
 		wpts[i] = kde.WeightedPoint{Loc: p.Loc, Weight: p.Weight}
 	}
 	box := benchData.st.Catalog().Bounds().Buffer(0.002)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := kde.Estimate(wpts, box, kde.Config{Cols: 96, Rows: 96}); err != nil {
-			b.Fatal(err)
+	b.Run("Serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := kde.Estimate(wpts, box, kde.Config{Cols: 96, Rows: 96, Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
+	b.Run("Parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := kde.Estimate(wpts, box, kde.Config{Cols: 96, Rows: 96, Workers: runtime.NumCPU()}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkKDEExact(b *testing.B) {
@@ -146,6 +160,7 @@ func BenchmarkFlowMap(b *testing.B) {
 	setupBench(b)
 	noon := benchNoon()
 	for i := 0; i < b.N; i++ {
+		benchData.an.Exec().Invalidate() // measure compute, not cache hits
 		if _, err := benchData.an.ShiftPatterns(core.ShiftConfig{
 			T1: noon, T2: noon + 8*3600, Granularity: query.Gran4Hourly,
 		}); err != nil {
@@ -194,10 +209,58 @@ func BenchmarkPCA(b *testing.B) {
 	}
 }
 
+// BenchmarkDistanceMatrixPearson pairs the serial reference against the
+// exec-layer parallel path so the speedup stays measurable in BENCH_*
+// snapshots; on an N-core runner Parallel should approach N x Serial.
 func BenchmarkDistanceMatrixPearson(b *testing.B) {
 	setupBench(b)
+	b.Run("Serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := reduce.DistanceMatrix(benchData.rows, reduce.MetricPearson); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Parallel", func(b *testing.B) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			if _, err := reduce.DistanceMatrixCtx(ctx, benchData.rows, reduce.MetricPearson, runtime.NumCPU()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTypicalPatternsCached measures the interactive steady state:
+// the same view requested repeatedly on an unchanged store, i.e. what a
+// brushing session pays per round-trip once the exec cache is warm.
+func BenchmarkTypicalPatternsCached(b *testing.B) {
+	setupBench(b)
+	ctx := context.Background()
+	cfg := core.TypicalConfig{Seed: 1, Method: reduce.MethodMDS}
+	if _, err := benchData.an.TypicalPatterns(ctx, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := reduce.DistanceMatrix(benchData.rows, reduce.MetricPearson); err != nil {
+		if _, err := benchData.an.TypicalPatterns(ctx, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShiftPatternsCached is the flow-map analogue.
+func BenchmarkShiftPatternsCached(b *testing.B) {
+	setupBench(b)
+	ctx := context.Background()
+	noon := benchNoon()
+	cfg := core.ShiftConfig{T1: noon, T2: noon + 8*3600, Granularity: query.Gran4Hourly}
+	if _, err := benchData.an.ShiftPatternsCtx(ctx, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := benchData.an.ShiftPatternsCtx(ctx, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -220,6 +283,7 @@ func BenchmarkShiftGranularity(b *testing.B) {
 	setupBench(b)
 	noon := benchNoon()
 	for i := 0; i < b.N; i++ {
+		benchData.an.Exec().Invalidate() // measure compute, not cache hits
 		if _, _, err := benchData.an.GranularitySweep(core.ShiftConfig{
 			T1: noon, T2: noon + 8*3600,
 		}); err != nil {

@@ -35,6 +35,8 @@ func main() {
 	days := flag.Int("days", 365, "days of synthetic data")
 	doStream := flag.Bool("stream", false, "replay the last week live (S2 step 3)")
 	interval := flag.Duration("interval", 10*time.Second, "streaming tick interval")
+	workers := flag.Int("workers", 0, "parallel kernel fan-out (0 = NumCPU)")
+	cacheEntries := flag.Int("cache", 0, "versioned result-cache entries (0 = default 64)")
 	flag.Parse()
 
 	st, err := store.Open(store.Options{Dir: *dir})
@@ -76,7 +78,8 @@ func main() {
 		log.Printf("loaded existing dataset: %+v", st.Stats())
 	}
 
-	an := core.NewAnalyzer(st)
+	an := core.NewAnalyzerOpts(st, core.Options{Workers: *workers, CacheEntries: *cacheEntries})
+	log.Printf("exec engine: %d workers, result cache at /api/exec", an.Exec().Workers())
 	var hub *stream.Hub
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()

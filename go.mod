@@ -1,0 +1,3 @@
+module vap
+
+go 1.24

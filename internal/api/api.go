@@ -12,7 +12,6 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"vap/internal/core"
@@ -24,21 +23,21 @@ import (
 	"vap/internal/stream"
 )
 
-// Server wires the analyzer to HTTP handlers. Reduction results are cached
-// per-parameter so brushing (which hits /api/patterns repeatedly) does not
-// recompute t-SNE.
+// Server wires the analyzer to HTTP handlers. All expensive results
+// (embeddings, density maps) are memoized by the analyzer's execution
+// engine, keyed by store data version plus canonical parameters, so
+// brushing (which hits /api/patterns repeatedly) and repeated /view/
+// renders of an unchanged dataset never recompute t-SNE or KDE, while any
+// ingest invalidates stale entries precisely.
 type Server struct {
 	an  *core.Analyzer
 	hub *stream.Hub
-
-	mu    sync.Mutex
-	views map[string]*core.TypicalView
 }
 
 // NewServer returns a server over the analyzer. hub may be nil if the
 // streaming endpoint is unused.
 func NewServer(an *core.Analyzer, hub *stream.Hub) *Server {
-	return &Server{an: an, hub: hub, views: make(map[string]*core.TypicalView)}
+	return &Server{an: an, hub: hub}
 }
 
 // Routes registers all endpoints on a new mux.
@@ -51,6 +50,7 @@ func (s *Server) Routes() *http.ServeMux {
 	mux.HandleFunc("/api/patterns", s.handlePatterns)
 	mux.HandleFunc("/api/flow", s.handleFlow)
 	mux.HandleFunc("/api/stats", s.handleStats)
+	mux.HandleFunc("/api/exec", s.handleExec)
 	mux.HandleFunc("/api/stream", s.handleStream)
 	mux.HandleFunc("/view/map.svg", s.handleMapSVG)
 	mux.HandleFunc("/view/series.svg", s.handleSeriesSVG)
@@ -155,6 +155,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"data_from":        first,
 		"data_to":          last,
 		"has_data":         ok,
+		"data_version":     s.an.Store().Version(),
+	})
+}
+
+// handleExec reports the execution engine's cache and parallelism state:
+// the operational view of "is the interactive path actually hitting the
+// memoized embeddings".
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	es := s.an.ExecStats()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"workers":       s.an.Exec().Workers(),
+		"cache_entries": s.an.Exec().Len(),
+		"cache_hits":    es.Hits,
+		"cache_misses":  es.Misses,
+		"computes":      es.Computes,
+		"dedups":        es.Dedups,
+		"evictions":     es.Evictions,
+		"data_version":  s.an.Store().Version(),
 	})
 }
 
@@ -210,8 +228,9 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]interface{}{"id": id, "granularity": g, "buckets": buckets})
 }
 
-// reduceView computes (or returns cached) a typical-pattern view for the
-// request's parameters.
+// reduceView computes (or returns the memoized) typical-pattern view for
+// the request's parameters. Caching, in-flight deduplication, and
+// version-based invalidation all live in the analyzer's execution engine.
 func (s *Server) reduceView(r *http.Request) (*core.TypicalView, error) {
 	sel, err := parseSelection(r)
 	if err != nil {
@@ -225,31 +244,9 @@ func (s *Server) reduceView(r *http.Request) (*core.TypicalView, error) {
 		Seed:            qInt64(r, "seed", 42),
 		UseDailyProfile: qStr(r, "profile", "") == "daily",
 	}
-	key := fmt.Sprintf("%v|%s|%s|%s|%d|%v|%s|%d|%d",
-		sel.MeterIDs, sel.Zone, cfg.Method, cfg.Metric, cfg.Seed,
-		cfg.UseDailyProfile, cfg.Granularity, sel.From, sel.To)
-	if sel.BBox != nil {
-		key += fmt.Sprintf("|%v", *sel.BBox)
-	}
-	s.mu.Lock()
-	v, ok := s.views[key]
-	s.mu.Unlock()
-	if ok {
-		return v, nil
-	}
 	ctx, cancel := context.WithTimeout(r.Context(), 120*time.Second)
 	defer cancel()
-	v, err = s.an.TypicalPatterns(ctx, cfg)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	if len(s.views) > 32 { // crude bound; keys are few in practice
-		s.views = make(map[string]*core.TypicalView)
-	}
-	s.views[key] = v
-	s.mu.Unlock()
-	return v, nil
+	return s.an.TypicalPatterns(ctx, cfg)
 }
 
 func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
@@ -306,7 +303,7 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("api: t1 and t2 parameters required"))
 		return
 	}
-	res, err := s.an.ShiftPatterns(core.ShiftConfig{
+	res, err := s.an.ShiftPatternsCtx(r.Context(), core.ShiftConfig{
 		Selection:         sel,
 		T1:                t1,
 		T2:                t2,

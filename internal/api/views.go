@@ -40,16 +40,7 @@ func (s *Server) handleMapSVG(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("api: heat mode requires from and to"))
 			return
 		}
-		pts, err := s.an.Engine().DemandSnapshot(sel, from, to)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		wpts := make([]kde.WeightedPoint, len(pts))
-		for i, p := range pts {
-			wpts[i] = kde.WeightedPoint{Loc: p.Loc, Weight: p.Weight}
-		}
-		field, err := kde.Estimate(wpts, mv.Box, kde.Config{})
+		field, err := s.an.DemandDensity(r.Context(), sel, from, to, kde.Config{})
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
 			return
@@ -63,7 +54,7 @@ func (s *Server) handleMapSVG(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		res, err := s.an.ShiftPatterns(core.ShiftConfig{
+		res, err := s.an.ShiftPatternsCtx(r.Context(), core.ShiftConfig{
 			Selection:         sel,
 			T1:                qInt64(r, "t1", 0),
 			T2:                qInt64(r, "t2", 0),

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"vap/internal/query"
+	"vap/internal/reduce"
+	"vap/internal/store"
+)
+
+// TestTypicalPatternsMemoized asserts the versioned-cache contract:
+// repeated identical calls on an unchanged store compute once and return
+// the same view, and a store append invalidates the entry.
+func TestTypicalPatternsMemoized(t *testing.T) {
+	an, ds := fixture(t)
+	ctx := context.Background()
+	cfg := TypicalConfig{Seed: 3, Method: reduce.MethodMDS}
+
+	v1, err := an.TypicalPatterns(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := an.ExecStats().Computes; got != 1 {
+		t.Fatalf("computes after first call = %d, want 1", got)
+	}
+	v2, err := an.TypicalPatterns(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := an.ExecStats().Computes; got != 1 {
+		t.Fatalf("identical repeat recomputed: computes = %d, want 1", got)
+	}
+	if v1 != v2 {
+		t.Fatal("repeat did not return the cached view")
+	}
+	if an.ExecStats().Hits == 0 {
+		t.Fatal("repeat did not count as a cache hit")
+	}
+
+	// A different config must compute separately.
+	if _, err := an.TypicalPatterns(ctx, TypicalConfig{Seed: 4, Method: reduce.MethodMDS}); err != nil {
+		t.Fatal(err)
+	}
+	if got := an.ExecStats().Computes; got != 2 {
+		t.Fatalf("distinct config did not compute: computes = %d, want 2", got)
+	}
+
+	// An append bumps the data version and invalidates the cached view.
+	id := ds.Customers[0].Meter.ID
+	_, last, _ := an.Store().Bounds(id)
+	if err := an.Store().Append(id, store.Sample{TS: last + 3600, Value: 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	v3, err := an.TypicalPatterns(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := an.ExecStats().Computes; got != 3 {
+		t.Fatalf("append did not invalidate: computes = %d, want 3", got)
+	}
+	if v3 == v1 {
+		t.Fatal("stale view returned after store append")
+	}
+}
+
+// TestShiftPatternsMemoized mirrors the contract for the flow-map path,
+// including bucket-anchor canonicalization: two anchors in the same bucket
+// share a cache entry.
+func TestShiftPatternsMemoized(t *testing.T) {
+	an, ds := fixture(t)
+	ctx := context.Background()
+	noon := ds.Start.Unix() + 10*86400 + 12*3600
+	cfg := ShiftConfig{T1: noon, T2: noon + 8*3600, Granularity: query.Gran4Hourly}
+
+	r1, err := an.ShiftPatternsCtx(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := an.ExecStats().Computes
+	r2, err := an.ShiftPatternsCtx(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := an.ExecStats().Computes; got != base {
+		t.Fatalf("identical repeat recomputed: computes = %d, want %d", got, base)
+	}
+	if r1 != r2 {
+		t.Fatal("repeat did not return the cached result")
+	}
+
+	// Same 4-hour buckets, different instants: must hit the same entry.
+	shifted := cfg
+	shifted.T1 += 1800
+	shifted.T2 += 900
+	r3, err := an.ShiftPatternsCtx(ctx, shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 != r1 {
+		t.Fatal("anchors in the same buckets missed the cache")
+	}
+
+	// Append invalidates.
+	id := ds.Customers[0].Meter.ID
+	_, lastTS, _ := an.Store().Bounds(id)
+	if err := an.Store().Append(id, store.Sample{TS: lastTS + 3600, Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	r4, err := an.ShiftPatternsCtx(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4 == r1 {
+		t.Fatal("stale flow map returned after store append")
+	}
+	if got := an.ExecStats().Computes; got <= base {
+		t.Fatalf("append did not trigger recompute: computes = %d", got)
+	}
+}
+
+// TestConcurrentIdenticalRequestsSingleflight asserts in-flight
+// deduplication: N concurrent identical requests on a cold cache run the
+// pipeline once.
+func TestConcurrentIdenticalRequestsSingleflight(t *testing.T) {
+	an, _ := fixture(t)
+	ctx := context.Background()
+	cfg := TypicalConfig{Seed: 5, Method: reduce.MethodMDS}
+	const callers = 12
+	views := make([]*TypicalView, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := an.TypicalPatterns(ctx, cfg)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			views[i] = v
+		}(i)
+	}
+	wg.Wait()
+	if got := an.ExecStats().Computes; got != 1 {
+		t.Fatalf("concurrent identical requests computed %d times, want 1", got)
+	}
+	for i := 1; i < callers; i++ {
+		if views[i] != views[0] {
+			t.Fatalf("caller %d got a different view instance", i)
+		}
+	}
+}

@@ -19,7 +19,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
+	"vap/internal/exec"
 	"vap/internal/flow"
 	"vap/internal/geo"
 	"vap/internal/kde"
@@ -29,15 +31,38 @@ import (
 	"vap/internal/store"
 )
 
-// Analyzer is the façade over the data layer the presentation layer talks
-// to. It is safe for concurrent use as long as the underlying store is.
-type Analyzer struct {
-	eng *query.Engine
+// Options tunes the analyzer's execution engine.
+type Options struct {
+	// Workers is the parallel fan-out width for the expensive kernels
+	// (distance matrix, KDE grid, per-meter decode). <= 0 selects
+	// runtime.NumCPU().
+	Workers int
+	// CacheEntries bounds the versioned result cache (<= 0 selects 64).
+	CacheEntries int
 }
 
-// NewAnalyzer wraps a store.
+// Analyzer is the façade over the data layer the presentation layer talks
+// to. It is safe for concurrent use: analysis results are memoized in a
+// versioned cache (keyed by store data version plus a canonical config
+// fingerprint), concurrent identical requests share one computation, and
+// any store mutation precisely invalidates stale entries.
+type Analyzer struct {
+	eng *query.Engine
+	ex  *exec.Engine
+}
+
+// NewAnalyzer wraps a store with default execution options.
 func NewAnalyzer(st *store.Store) *Analyzer {
-	return &Analyzer{eng: query.NewEngine(st)}
+	return NewAnalyzerOpts(st, Options{})
+}
+
+// NewAnalyzerOpts wraps a store with explicit execution options.
+func NewAnalyzerOpts(st *store.Store, opts Options) *Analyzer {
+	ex := exec.New(exec.Options{Workers: opts.Workers, CacheEntries: opts.CacheEntries})
+	return &Analyzer{
+		eng: query.NewEngineWorkers(st, ex.Workers()),
+		ex:  ex,
+	}
 }
 
 // Engine exposes the underlying query engine.
@@ -45,6 +70,28 @@ func (a *Analyzer) Engine() *query.Engine { return a.eng }
 
 // Store exposes the underlying store.
 func (a *Analyzer) Store() *store.Store { return a.eng.Store() }
+
+// Exec exposes the execution engine (cache introspection, invalidation).
+func (a *Analyzer) Exec() *exec.Engine { return a.ex }
+
+// ExecStats reports cache and deduplication counters.
+func (a *Analyzer) ExecStats() exec.Stats { return a.ex.Stats() }
+
+// selectionKeyParts canonicalizes a Selection for cache keying: explicit
+// meter sets are sorted (ResolveMeters sorts them anyway), so two
+// selections that resolve identically fingerprint identically.
+func selectionKeyParts(sel query.Selection) []any {
+	ids := sel.MeterIDs
+	if len(ids) > 0 && !sort.SliceIsSorted(ids, func(i, j int) bool { return ids[i] < ids[j] }) {
+		ids = append([]int64(nil), ids...)
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
+	box := "-"
+	if sel.BBox != nil {
+		box = fmt.Sprintf("%v", *sel.BBox)
+	}
+	return []any{box, sel.Zone, ids, sel.From, sel.To}
+}
 
 // --- Typical pattern discovery -----------------------------------------
 
@@ -98,15 +145,32 @@ type TypicalView struct {
 func (v *TypicalView) Rows() [][]float64 { return v.rows }
 
 // TypicalPatterns runs the pipeline: select meters, build the feature
-// matrix, reduce to 2-D.
+// matrix, reduce to 2-D. Results are memoized against the store's data
+// version, so repeated brushes over an unchanged dataset return the same
+// *TypicalView without re-running t-SNE, and concurrent identical requests
+// share one computation.
 func (a *Analyzer) TypicalPatterns(ctx context.Context, cfg TypicalConfig) (*TypicalView, error) {
 	cfg.defaults()
-	ids, times, rows, err := a.eng.MeterMatrix(cfg.Selection, cfg.Granularity, cfg.Aggregate)
+	parts := append(selectionKeyParts(cfg.Selection),
+		cfg.Granularity, cfg.Aggregate, cfg.Method, cfg.Metric, cfg.Seed, cfg.UseDailyProfile)
+	key := exec.KeyOf(a.Store().Version(), "typical", parts...)
+	v, err := a.ex.Do(ctx, key, func(ctx context.Context) (any, error) {
+		return a.computeTypical(ctx, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*TypicalView), nil
+}
+
+// computeTypical is the uncached pipeline body.
+func (a *Analyzer) computeTypical(ctx context.Context, cfg TypicalConfig) (*TypicalView, error) {
+	ids, times, rows, err := a.eng.MeterMatrixCtx(ctx, cfg.Selection, cfg.Granularity, cfg.Aggregate)
 	if err != nil {
 		return nil, err
 	}
 	if cfg.UseDailyProfile {
-		rows, err = dailyProfiles(a.eng, ids, cfg.Selection)
+		rows, err = dailyProfiles(ctx, a.eng, ids, cfg.Selection)
 		if err != nil {
 			return nil, err
 		}
@@ -127,14 +191,15 @@ func (a *Analyzer) TypicalPatterns(ctx context.Context, cfg TypicalConfig) (*Typ
 	}, nil
 }
 
-func dailyProfiles(eng *query.Engine, ids []int64, sel query.Selection) ([][]float64, error) {
+func dailyProfiles(ctx context.Context, eng *query.Engine, ids []int64, sel query.Selection) ([][]float64, error) {
 	rows := make([][]float64, len(ids))
-	for i, id := range ids {
+	err := exec.ForEach(ctx, len(ids), eng.Workers(), func(i int) error {
+		id := ids[i]
 		s := sel
 		s.MeterIDs = []int64{id}
 		buckets, err := eng.MeterSeries(id, s, query.GranHourly, query.AggMean)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var sums, counts [24]float64
 		for _, b := range buckets {
@@ -149,6 +214,10 @@ func dailyProfiles(eng *query.Engine, ids []int64, sel query.Selection) ([][]flo
 			}
 		}
 		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -352,6 +421,14 @@ type ShiftResult struct {
 // ShiftPatterns computes the Figure 2 pipeline: two density-strength maps
 // (Eq. 3) and their difference (Eq. 4), plus renderable flows.
 func (a *Analyzer) ShiftPatterns(cfg ShiftConfig) (*ShiftResult, error) {
+	return a.ShiftPatternsCtx(context.Background(), cfg)
+}
+
+// ShiftPatternsCtx is ShiftPatterns with context cancellation and the same
+// versioned memoization as TypicalPatterns: anchors are canonicalized to
+// their bucket starts, so any two requests landing in the same (T1, T2)
+// buckets on unchanged data share one cached flow map.
+func (a *Analyzer) ShiftPatternsCtx(ctx context.Context, cfg ShiftConfig) (*ShiftResult, error) {
 	if cfg.Granularity == "" {
 		cfg.Granularity = query.GranHourly
 	}
@@ -367,33 +444,52 @@ func (a *Analyzer) ShiftPatterns(cfg ShiftConfig) (*ShiftResult, error) {
 	if t1a == t2a {
 		return nil, fmt.Errorf("core: T1 and T2 fall in the same %s bucket", g)
 	}
+	parts := append(selectionKeyParts(cfg.Selection),
+		t1a, t2a, g, cfg.IntensityQuantile, cfg.GridCols, cfg.GridRows,
+		cfg.Bandwidth, cfg.Kernel, cfg.OD)
+	key := exec.KeyOf(a.Store().Version(), "shift", parts...)
+	v, err := a.ex.Do(ctx, key, func(ctx context.Context) (any, error) {
+		return a.computeShift(ctx, cfg, t1a, t1b, t2a, t2b)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*ShiftResult), nil
+}
+
+// computeShift is the uncached pipeline body. The two density maps are
+// evaluated with the engine's parallel KDE path.
+func (a *Analyzer) computeShift(ctx context.Context, cfg ShiftConfig, t1a, t1b, t2a, t2b int64) (*ShiftResult, error) {
 	sel := cfg.Selection
 	if cfg.IntensityQuantile > 0 {
-		ids, err := a.eng.IntensityBand(sel, cfg.IntensityQuantile)
+		ids, err := a.intensityBand(ctx, sel, cfg.IntensityQuantile)
 		if err != nil {
 			return nil, err
 		}
 		sel.MeterIDs = ids
 	}
-	pts1, err := a.demand(sel, t1a, t1b)
+	pts1, err := a.demand(ctx, sel, t1a, t1b)
 	if err != nil {
 		return nil, err
 	}
-	pts2, err := a.demand(sel, t2a, t2b)
+	pts2, err := a.demand(ctx, sel, t2a, t2b)
 	if err != nil {
 		return nil, err
 	}
 	box := a.Store().Catalog().Bounds().Buffer(0.002)
-	kcfg := kde.Config{Cols: cfg.GridCols, Rows: cfg.GridRows, Bandwidth: cfg.Bandwidth, Kernel: cfg.Kernel}
+	kcfg := kde.Config{
+		Cols: cfg.GridCols, Rows: cfg.GridRows, Bandwidth: cfg.Bandwidth,
+		Kernel: cfg.Kernel, Workers: a.ex.Workers(),
+	}
 	// Use one shared bandwidth so the two maps are comparable.
 	if kcfg.Bandwidth <= 0 {
 		kcfg.Bandwidth = kde.SilvermanBandwidth(append(append([]kde.WeightedPoint{}, pts1...), pts2...))
 	}
-	d1, err := kde.Estimate(pts1, box, kcfg)
+	d1, err := kde.EstimateCtx(ctx, pts1, box, kcfg)
 	if err != nil {
 		return nil, err
 	}
-	d2, err := kde.Estimate(pts2, box, kcfg)
+	d2, err := kde.EstimateCtx(ctx, pts2, box, kcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -418,6 +514,51 @@ func (a *Analyzer) ShiftPatterns(cfg ShiftConfig) (*ShiftResult, error) {
 	}, nil
 }
 
+// DemandDensity returns the Eq. 3 density map of the selection's demand in
+// [from, to) over the catalog's study area — the standalone heat map of
+// view A. It carries the same versioned-memoization contract as the
+// pattern entry points, so repeated renders of an unchanged dataset reuse
+// the grid.
+func (a *Analyzer) DemandDensity(ctx context.Context, sel query.Selection, from, to int64, kcfg kde.Config) (*kde.Field, error) {
+	// Canonicalize the knobs kde would default anyway, so equivalent
+	// requests share one cache entry.
+	if kcfg.Cols <= 0 {
+		kcfg.Cols = 96
+	}
+	if kcfg.Rows <= 0 {
+		kcfg.Rows = 96
+	}
+	if kcfg.Kernel == "" {
+		kcfg.Kernel = kde.KernelGaussian
+	}
+	kcfg.Workers = a.ex.Workers()
+	parts := append(selectionKeyParts(sel),
+		from, to, kcfg.Cols, kcfg.Rows, kcfg.Bandwidth, kcfg.Kernel, kcfg.Exact)
+	key := exec.KeyOf(a.Store().Version(), "density", parts...)
+	v, err := a.ex.Do(ctx, key, func(ctx context.Context) (any, error) {
+		dps, err := a.eng.DemandSnapshotCtx(ctx, sel, from, to)
+		if err != nil {
+			return nil, err
+		}
+		pts := make([]kde.WeightedPoint, len(dps))
+		for i, d := range dps {
+			pts[i] = kde.WeightedPoint{Loc: d.Loc, Weight: d.Weight}
+		}
+		box := a.Store().Catalog().Bounds().Buffer(0.002)
+		return kde.EstimateCtx(ctx, pts, box, kcfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*kde.Field), nil
+}
+
+// intensityBand resolves the S2 intensity filter through the parallel,
+// cancellable query path.
+func (a *Analyzer) intensityBand(ctx context.Context, sel query.Selection, q float64) ([]int64, error) {
+	return a.eng.IntensityBandCtx(ctx, sel, q)
+}
+
 // demand returns a snapshot whose weights are rescaled to unit total mass.
 // DemandSnapshot normalizes each window's weights into [0,1] independently,
 // which is right for a standalone heat map but makes two windows'
@@ -425,8 +566,8 @@ func (a *Analyzer) ShiftPatterns(cfg ShiftConfig) (*ShiftResult, error) {
 // other everywhere, leaving the shift one-signed). Fixing both snapshots
 // to the same total mass makes the difference a pure redistribution
 // signal — where high demand moved, the Figure 2 semantics.
-func (a *Analyzer) demand(sel query.Selection, from, to int64) ([]kde.WeightedPoint, error) {
-	dps, err := a.eng.DemandSnapshot(sel, from, to)
+func (a *Analyzer) demand(ctx context.Context, sel query.Selection, from, to int64) ([]kde.WeightedPoint, error) {
+	dps, err := a.eng.DemandSnapshotCtx(ctx, sel, from, to)
 	if err != nil {
 		return nil, err
 	}

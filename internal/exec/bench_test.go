@@ -1,0 +1,58 @@
+package exec
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkDoCached measures the steady-state hit path: one map lookup,
+// one LRU splice. This is what every repeated brush over an unchanged
+// dataset pays.
+func BenchmarkDoCached(b *testing.B) {
+	e := New(Options{})
+	key := KeyOf(1, "bench", "hot")
+	ctx := context.Background()
+	if _, err := e.Do(ctx, key, func(context.Context) (any, error) { return 1, nil }); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Do(ctx, key, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDoContended measures parallel hit throughput under contention.
+func BenchmarkDoContended(b *testing.B) {
+	e := New(Options{})
+	key := KeyOf(1, "bench", "hot")
+	ctx := context.Background()
+	if _, err := e.Do(ctx, key, func(context.Context) (any, error) { return 1, nil }); err != nil {
+		b.Fatal(err)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := e.Do(ctx, key, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkForEachDispatch measures per-iteration scheduling overhead with
+// trivial bodies — the floor parallel kernels must amortize.
+func BenchmarkForEachDispatch(b *testing.B) {
+	ctx := context.Background()
+	var sink atomic.Int64
+	b.ResetTimer()
+	err := ForEach(ctx, b.N, runtime.NumCPU(), func(i int) error {
+		sink.Add(int64(i))
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

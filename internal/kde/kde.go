@@ -12,10 +12,13 @@
 package kde
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
+	"vap/internal/exec"
 	"vap/internal/geo"
 )
 
@@ -49,6 +52,10 @@ type Config struct {
 	// Exact disables the truncated-support fast path (used by the E2b
 	// ablation; truncation error is below ~1e-5 of the peak density).
 	Exact bool
+	// Workers fans the grid evaluation out across row bands: 0 selects
+	// runtime.NumCPU(), 1 forces the serial reference path. Bands are
+	// disjoint raster rows, so the accumulation is lock-free.
+	Workers int
 }
 
 func (c *Config) defaults() {
@@ -225,6 +232,14 @@ func quantile(xs []float64, q float64) float64 {
 // Estimate evaluates Eq. 3 over box with the given points and config.
 // Weights c_i are used as provided (the query layer normalizes them).
 func Estimate(pts []WeightedPoint, box geo.BBox, cfg Config) (*Field, error) {
+	return EstimateCtx(context.Background(), pts, box, cfg)
+}
+
+// EstimateCtx evaluates Eq. 3 with the raster split into disjoint
+// row bands fanned out across cfg.Workers goroutines. Each band
+// accumulates only its own cells, so no synchronization is needed on the
+// value buffer; ctx cancellation aborts between bands.
+func EstimateCtx(ctx context.Context, pts []WeightedPoint, box geo.BBox, cfg Config) (*Field, error) {
 	if len(pts) == 0 {
 		return nil, ErrInput
 	}
@@ -250,30 +265,57 @@ func Estimate(pts []WeightedPoint, box geo.BBox, cfg Config) (*Field, error) {
 	if cfg.Kernel == KernelGaussian {
 		support = 5 * h
 	}
-	for _, p := range pts {
-		if p.Weight == 0 {
-			continue
-		}
-		c0, r0, c1, r1 := 0, 0, cfg.Cols-1, cfg.Rows-1
+	// Precompute each point's raster footprint once so every band pays
+	// only a range intersection per point.
+	type footprint struct {
+		c0, c1, r0, r1 int
+	}
+	fps := make([]footprint, len(pts))
+	for i, p := range pts {
+		fp := footprint{0, cfg.Cols - 1, 0, cfg.Rows - 1}
 		if !cfg.Exact {
-			c0 = clamp(int((p.Loc.Lon-support-box.Min.Lon)/cellW), 0, cfg.Cols-1)
-			c1 = clamp(int((p.Loc.Lon+support-box.Min.Lon)/cellW), 0, cfg.Cols-1)
-			r0 = clamp(int((p.Loc.Lat-support-box.Min.Lat)/cellH), 0, cfg.Rows-1)
-			r1 = clamp(int((p.Loc.Lat+support-box.Min.Lat)/cellH), 0, cfg.Rows-1)
+			fp.c0 = clamp(int((p.Loc.Lon-support-box.Min.Lon)/cellW), 0, cfg.Cols-1)
+			fp.c1 = clamp(int((p.Loc.Lon+support-box.Min.Lon)/cellW), 0, cfg.Cols-1)
+			fp.r0 = clamp(int((p.Loc.Lat-support-box.Min.Lat)/cellH), 0, cfg.Rows-1)
+			fp.r1 = clamp(int((p.Loc.Lat+support-box.Min.Lat)/cellH), 0, cfg.Rows-1)
 		}
-		for r := r0; r <= r1; r++ {
-			cy := box.Min.Lat + (float64(r)+0.5)*cellH
-			dy := (cy - p.Loc.Lat) / h
-			for c := c0; c <= c1; c++ {
-				cx := box.Min.Lon + (float64(c)+0.5)*cellW
-				dx := (cx - p.Loc.Lon) / h
-				u2 := dx*dx + dy*dy
-				k := kernelValue(cfg.Kernel, u2)
-				if k != 0 {
-					f.Values[r*cfg.Cols+c] += invN * p.Weight * k / (h * h)
+		fps[i] = fp
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	err := exec.ForEachChunk(ctx, cfg.Rows, workers, func(lo, hi int) error {
+		for k, p := range pts {
+			if p.Weight == 0 {
+				continue
+			}
+			fp := fps[k]
+			r0, r1 := fp.r0, fp.r1
+			if r0 < lo {
+				r0 = lo
+			}
+			if r1 >= hi {
+				r1 = hi - 1
+			}
+			for r := r0; r <= r1; r++ {
+				cy := box.Min.Lat + (float64(r)+0.5)*cellH
+				dy := (cy - p.Loc.Lat) / h
+				for c := fp.c0; c <= fp.c1; c++ {
+					cx := box.Min.Lon + (float64(c)+0.5)*cellW
+					dx := (cx - p.Loc.Lon) / h
+					u2 := dx*dx + dy*dy
+					k := kernelValue(cfg.Kernel, u2)
+					if k != 0 {
+						f.Values[r*cfg.Cols+c] += invN * p.Weight * k / (h * h)
+					}
 				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return f, nil
 }

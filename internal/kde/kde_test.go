@@ -1,6 +1,7 @@
 package kde
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -204,5 +205,43 @@ func TestEstimateAtMatchesFieldPeak(t *testing.T) {
 	}
 	if EstimateAt(pts, p, 0, KernelGaussian) != 0 {
 		t.Error("zero bandwidth should return 0")
+	}
+}
+
+func TestEstimateParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var pts []WeightedPoint
+	for i := 0; i < 120; i++ {
+		pts = append(pts, WeightedPoint{
+			Loc:    geo.Point{Lon: 12.4 + rng.Float64()*0.4, Lat: 55.5 + rng.Float64()*0.4},
+			Weight: rng.Float64(),
+		})
+	}
+	for _, exact := range []bool{false, true} {
+		serial, err := Estimate(pts, box(), Config{Cols: 80, Rows: 80, Bandwidth: 0.02, Exact: exact, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 7, 0} {
+			par, err := Estimate(pts, box(), Config{Cols: 80, Rows: 80, Bandwidth: 0.02, Exact: exact, Workers: workers})
+			if err != nil {
+				t.Fatalf("workers=%d exact=%v: %v", workers, exact, err)
+			}
+			for i := range serial.Values {
+				if par.Values[i] != serial.Values[i] {
+					t.Fatalf("workers=%d exact=%v: cell %d = %v, serial %v",
+						workers, exact, i, par.Values[i], serial.Values[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEstimateCtxCancelled(t *testing.T) {
+	pts := []WeightedPoint{{Loc: geo.Point{Lon: 12.6, Lat: 55.7}, Weight: 1}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EstimateCtx(ctx, pts, box(), Config{Cols: 64, Rows: 64, Bandwidth: 0.02}); err == nil {
+		t.Fatal("cancelled context did not abort Estimate")
 	}
 }

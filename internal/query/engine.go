@@ -1,25 +1,42 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 
+	"vap/internal/exec"
 	"vap/internal/geo"
 	"vap/internal/stat"
 	"vap/internal/store"
 )
 
-// Engine evaluates VAP's analytical queries against a Store.
+// Engine evaluates VAP's analytical queries against a Store. Per-meter
+// work (series decode + aggregation) fans out across workers goroutines.
 type Engine struct {
-	st *store.Store
+	st      *store.Store
+	workers int
 }
 
-// NewEngine returns an engine bound to st.
-func NewEngine(st *store.Store) *Engine { return &Engine{st: st} }
+// NewEngine returns an engine bound to st with runtime.NumCPU() workers.
+func NewEngine(st *store.Store) *Engine { return NewEngineWorkers(st, 0) }
+
+// NewEngineWorkers returns an engine with an explicit fan-out width
+// (<= 0 selects runtime.NumCPU()).
+func NewEngineWorkers(st *store.Store, workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Engine{st: st, workers: workers}
+}
 
 // Store returns the underlying store.
 func (e *Engine) Store() *store.Store { return e.st }
+
+// Workers returns the engine's fan-out width.
+func (e *Engine) Workers() int { return e.workers }
 
 // Selection describes which meters and which time window a query covers.
 // Zero-value fields are unconstrained.
@@ -105,6 +122,13 @@ func (e *Engine) MeterSeries(meterID int64, sel Selection, g Granularity, fn Agg
 // the meter IDs (row order) and the bucket start times (column order).
 // This is the "high-dimensional time series" input to dimension reduction.
 func (e *Engine) MeterMatrix(sel Selection, g Granularity, fn AggFunc) (ids []int64, times []int64, rows [][]float64, err error) {
+	return e.MeterMatrixCtx(context.Background(), sel, g, fn)
+}
+
+// MeterMatrixCtx is MeterMatrix with the per-meter series decode and
+// aggregation fanned out across the engine's workers; row order stays
+// deterministic because each task writes only its own row index.
+func (e *Engine) MeterMatrixCtx(ctx context.Context, sel Selection, g Granularity, fn AggFunc) (ids []int64, times []int64, rows [][]float64, err error) {
 	ids, err = e.ResolveMeters(sel)
 	if err != nil {
 		return nil, nil, nil, err
@@ -122,14 +146,14 @@ func (e *Engine) MeterMatrix(sel Selection, g Granularity, fn AggFunc) (ids []in
 		pos[t] = i
 	}
 	rows = make([][]float64, len(ids))
-	for r, id := range ids {
-		samples, err := e.st.Range(id, from, to)
+	err = exec.ForEach(ctx, len(ids), e.workers, func(r int) error {
+		samples, err := e.st.Range(ids[r], from, to)
 		if err != nil {
-			return nil, nil, nil, err
+			return err
 		}
 		buckets, err := Aggregate(samples, g, fn)
 		if err != nil {
-			return nil, nil, nil, err
+			return err
 		}
 		row := make([]float64, len(times))
 		for _, b := range buckets {
@@ -138,6 +162,10 @@ func (e *Engine) MeterMatrix(sel Selection, g Granularity, fn AggFunc) (ids []in
 			}
 		}
 		rows[r] = row
+		return nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
 	}
 	return ids, times, rows, nil
 }
@@ -145,6 +173,11 @@ func (e *Engine) MeterMatrix(sel Selection, g Granularity, fn AggFunc) (ids []in
 // TotalByMeter returns each selected meter's total consumption over the
 // window, keyed by meter ID.
 func (e *Engine) TotalByMeter(sel Selection) (map[int64]float64, error) {
+	return e.TotalByMeterCtx(context.Background(), sel)
+}
+
+// TotalByMeterCtx is TotalByMeter with per-meter range scans parallelized.
+func (e *Engine) TotalByMeterCtx(ctx context.Context, sel Selection) (map[int64]float64, error) {
 	ids, err := e.ResolveMeters(sel)
 	if err != nil {
 		return nil, err
@@ -153,17 +186,25 @@ func (e *Engine) TotalByMeter(sel Selection) (map[int64]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[int64]float64, len(ids))
-	for _, id := range ids {
-		samples, err := e.st.Range(id, from, to)
+	totals := make([]float64, len(ids))
+	err = exec.ForEach(ctx, len(ids), e.workers, func(i int) error {
+		samples, err := e.st.Range(ids[i], from, to)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s := 0.0
 		for _, smp := range samples {
 			s += smp.Value
 		}
-		out[id] = s
+		totals[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int64]float64, len(ids))
+	for i, id := range ids {
+		out[id] = totals[i]
 	}
 	return out, nil
 }
@@ -172,10 +213,16 @@ func (e *Engine) TotalByMeter(sel Selection) (map[int64]float64, error) {
 // the q-th quantile of the selection (the S2 "consumption intensity in a
 // quartile value ranging from 30% to 90%" control). q is in [0, 1].
 func (e *Engine) IntensityBand(sel Selection, q float64) ([]int64, error) {
+	return e.IntensityBandCtx(context.Background(), sel, q)
+}
+
+// IntensityBandCtx is IntensityBand with the underlying total-consumption
+// scan parallelized and cancellable.
+func (e *Engine) IntensityBandCtx(ctx context.Context, sel Selection, q float64) ([]int64, error) {
 	if q < 0 || q > 1 {
 		return nil, fmt.Errorf("query: quantile %v out of [0,1]", q)
 	}
-	totals, err := e.TotalByMeter(sel)
+	totals, err := e.TotalByMeterCtx(ctx, sel)
 	if err != nil {
 		return nil, err
 	}
@@ -209,6 +256,12 @@ type DemandPoint struct {
 // location weighted by its normalized average consumption in that window —
 // exactly the (x_i, c_i) pairs of Eq. 3.
 func (e *Engine) DemandSnapshot(sel Selection, from, to int64) ([]DemandPoint, error) {
+	return e.DemandSnapshotCtx(context.Background(), sel, from, to)
+}
+
+// DemandSnapshotCtx is DemandSnapshot with per-meter window scans
+// parallelized across the engine's workers.
+func (e *Engine) DemandSnapshotCtx(ctx context.Context, sel Selection, from, to int64) ([]DemandPoint, error) {
 	s := sel
 	s.From, s.To = from, to
 	ids, err := e.ResolveMeters(s)
@@ -216,19 +269,23 @@ func (e *Engine) DemandSnapshot(sel Selection, from, to int64) ([]DemandPoint, e
 		return nil, err
 	}
 	means := make([]float64, len(ids))
-	for i, id := range ids {
-		samples, err := e.st.Range(id, from, to)
+	err = exec.ForEach(ctx, len(ids), e.workers, func(i int) error {
+		samples, err := e.st.Range(ids[i], from, to)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if len(samples) == 0 {
-			continue
+			return nil
 		}
 		sum := 0.0
 		for _, smp := range samples {
 			sum += smp.Value
 		}
 		means[i] = sum / float64(len(samples))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	weights := stat.Normalize01(means)
 	cat := e.st.Catalog()

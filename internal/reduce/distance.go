@@ -8,10 +8,13 @@
 package reduce
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
+	"vap/internal/exec"
 	"vap/internal/stat"
 )
 
@@ -30,8 +33,19 @@ const (
 var ErrInput = errors.New("reduce: invalid input")
 
 // DistanceMatrix computes the full symmetric pairwise distance matrix of
-// rows under the metric. Rows must be equal-length and non-empty.
+// rows under the metric, serially. Rows must be equal-length and
+// non-empty. It is the reference implementation DistanceMatrixCtx is
+// benchmarked against; new code should prefer DistanceMatrixCtx.
 func DistanceMatrix(rows [][]float64, m Metric) ([][]float64, error) {
+	return DistanceMatrixCtx(context.Background(), rows, m, 1)
+}
+
+// DistanceMatrixCtx computes the same matrix with the upper triangle
+// row-chunked across up to workers goroutines (workers <= 0 selects
+// runtime.NumCPU()). Rows are handed out dynamically, so the triangular
+// imbalance (row i has n-i-1 pairs) spreads evenly. Cancellation of ctx
+// aborts the computation.
+func DistanceMatrixCtx(ctx context.Context, rows [][]float64, m Metric, workers int) ([][]float64, error) {
 	n := len(rows)
 	if n == 0 {
 		return nil, ErrInput
@@ -42,10 +56,6 @@ func DistanceMatrix(rows [][]float64, m Metric) ([][]float64, error) {
 			return nil, fmt.Errorf("reduce: row %d has %d cols, want %d nonzero", i, len(r), width)
 		}
 	}
-	d := make([][]float64, n)
-	for i := range d {
-		d[i] = make([]float64, n)
-	}
 	var distFn func(a, b []float64) (float64, error)
 	switch m {
 	case MetricPearson:
@@ -55,11 +65,21 @@ func DistanceMatrix(rows [][]float64, m Metric) ([][]float64, error) {
 	default:
 		return nil, fmt.Errorf("reduce: unknown metric %q", m)
 	}
-	for i := 0; i < n; i++ {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	// Each worker owns whole rows of the upper triangle; d[j][i] mirrors
+	// touch only column i of later rows, which no other row-i task writes,
+	// so the matrix needs no locking.
+	err := exec.ForEach(ctx, n, workers, func(i int) error {
 		for j := i + 1; j < n; j++ {
 			v, err := distFn(rows[i], rows[j])
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if math.IsNaN(v) || v < 0 {
 				v = 0
@@ -67,6 +87,10 @@ func DistanceMatrix(rows [][]float64, m Metric) ([][]float64, error) {
 			d[i][j] = v
 			d[j][i] = v
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return d, nil
 }

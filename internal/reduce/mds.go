@@ -234,7 +234,7 @@ func Reduce(ctx context.Context, rows [][]float64, method Method, metric Metric,
 	case MethodPCA:
 		return PCA(rows)
 	case MethodTSNE, MethodMDS, MethodSMACOF:
-		d, err := DistanceMatrix(rows, metric)
+		d, err := DistanceMatrixCtx(ctx, rows, metric, 0)
 		if err != nil {
 			return nil, err
 		}

@@ -337,3 +337,36 @@ func TestPerplexitySearchHitsTarget(t *testing.T) {
 		}
 	}
 }
+
+func TestDistanceMatrixParallelMatchesSerial(t *testing.T) {
+	rows, _ := threeClusters(33, 48, 7)
+	for _, m := range []Metric{MetricPearson, MetricEuclidean} {
+		serial, err := DistanceMatrix(rows, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8, 0} {
+			par, err := DistanceMatrixCtx(context.Background(), rows, m, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", m, workers, err)
+			}
+			for i := range serial {
+				for j := range serial[i] {
+					if par[i][j] != serial[i][j] {
+						t.Fatalf("%s workers=%d: d[%d][%d] = %v, serial %v",
+							m, workers, i, j, par[i][j], serial[i][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDistanceMatrixCtxCancelled(t *testing.T) {
+	rows, _ := threeClusters(60, 48, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DistanceMatrixCtx(ctx, rows, MetricPearson, 4); err == nil {
+		t.Fatal("cancelled context did not abort the distance matrix")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"vap/internal/geo"
 	"vap/internal/index"
@@ -42,7 +43,16 @@ type Store struct {
 	series  map[int64]*Series
 	wal     *WAL
 	opts    Options
+	// version counts successful mutations (meter registrations, appends).
+	// Execution-layer caches embed it in their keys, so any ingest
+	// precisely invalidates results computed against older data.
+	version atomic.Uint64
 }
+
+// Version returns the store's monotonically increasing data version. It
+// changes on every successful mutation and never decreases; two equal
+// versions imply identical stored data.
+func (s *Store) Version() uint64 { return s.version.Load() }
 
 // Open creates a Store. If opts.Dir is non-empty, it loads the latest
 // snapshot (if any) and replays the WAL on top of it.
@@ -127,6 +137,7 @@ func (s *Store) putMeterLocked(m Meter) error {
 	if _, ok := s.series[m.ID]; !ok {
 		s.series[m.ID] = NewSeries(m.ID)
 	}
+	s.version.Add(1)
 	return nil
 }
 
@@ -153,7 +164,11 @@ func (s *Store) appendLocked(meterID int64, smp Sample) error {
 	if !ok {
 		return ErrUnknownMeter
 	}
-	return ser.Append(smp)
+	if err := ser.Append(smp); err != nil {
+		return err
+	}
+	s.version.Add(1)
+	return nil
 }
 
 // AppendBatch stores a batch of in-order samples for one meter, amortizing
@@ -170,6 +185,7 @@ func (s *Store) AppendBatch(meterID int64, smps []Sample) (int, error) {
 		if err := ser.Append(smp); err != nil {
 			return i, err
 		}
+		s.version.Add(1)
 		if s.wal != nil {
 			if err := s.wal.AppendSample(meterID, smp); err != nil {
 				return i, err

@@ -444,3 +444,51 @@ func TestStoreSyncEveryAppend(t *testing.T) {
 	}
 	_ = st.Close()
 }
+
+func TestStoreVersionBumpsOnMutation(t *testing.T) {
+	st, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	v0 := st.Version()
+	if err := st.PutMeter(testMeter(1)); err != nil {
+		t.Fatal(err)
+	}
+	v1 := st.Version()
+	if v1 <= v0 {
+		t.Fatalf("PutMeter did not bump version: %d -> %d", v0, v1)
+	}
+	if err := st.Append(1, Sample{TS: 1, Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	v2 := st.Version()
+	if v2 <= v1 {
+		t.Fatalf("Append did not bump version: %d -> %d", v1, v2)
+	}
+	if _, err := st.AppendBatch(1, []Sample{{TS: 2, Value: 3}, {TS: 3, Value: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	v3 := st.Version()
+	if v3 <= v2 {
+		t.Fatalf("AppendBatch did not bump version: %d -> %d", v2, v3)
+	}
+	// Reads must not bump.
+	if _, err := st.Range(1, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	st.Stats()
+	if st.Version() != v3 {
+		t.Fatalf("read bumped version: %d -> %d", v3, st.Version())
+	}
+	// Failed mutations must not bump.
+	if err := st.Append(99, Sample{TS: 1, Value: 1}); err != ErrUnknownMeter {
+		t.Fatalf("expected ErrUnknownMeter, got %v", err)
+	}
+	if err := st.Append(1, Sample{TS: 1, Value: 1}); err != ErrOutOfOrder {
+		t.Fatalf("expected ErrOutOfOrder, got %v", err)
+	}
+	if st.Version() != v3 {
+		t.Fatalf("failed mutation bumped version: %d -> %d", v3, st.Version())
+	}
+}

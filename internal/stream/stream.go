@@ -25,6 +25,11 @@ type Event struct {
 	Count    int            `json:"count"`     // readings in the batch
 	Snapshot *kde.Field     `json:"-"`         // current density map
 	Summary  DensitySummary `json:"summary"`
+	// DataVersion is the store's data version after this batch landed.
+	// Subscribers holding results keyed to an older version (the exec
+	// layer's cache keys) know those are stale the moment they see a
+	// larger value here.
+	DataVersion uint64 `json:"data_version,omitempty"`
 }
 
 // DensitySummary is the scalar state pushed to subscribers.
@@ -273,7 +278,11 @@ func (r *Replayer) Run(ctx context.Context, feeds []Feed, from, to int64) (int, 
 			if r.Tracker != nil {
 				snap, sum = r.Tracker.Snapshot()
 			}
-			r.Hub.Publish(Event{Seq: seq, DataTime: lastTS, Count: batch, Snapshot: snap, Summary: sum})
+			var ver uint64
+			if r.St != nil {
+				ver = r.St.Version()
+			}
+			r.Hub.Publish(Event{Seq: seq, DataTime: lastTS, Count: batch, Snapshot: snap, Summary: sum, DataVersion: ver})
 		}
 		if ticker != nil {
 			select {

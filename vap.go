@@ -37,6 +37,7 @@ import (
 
 	"vap/internal/api"
 	"vap/internal/core"
+	"vap/internal/exec"
 	"vap/internal/gen"
 	"vap/internal/geo"
 	"vap/internal/query"
@@ -110,10 +111,29 @@ func GenerateDataset(cfg DatasetConfig) *Dataset { return gen.Generate(cfg) }
 // --- Logic layer ----------------------------------------------------------------
 
 // Analyzer is the pattern-discovery façade (the paper's models layer).
+// Its expensive kernels run on a parallel execution engine whose results
+// are memoized against the store's data version: repeated identical
+// TypicalPatterns/ShiftPatterns calls on an unchanged store return cached
+// views, and any Append invalidates them precisely.
 type Analyzer = core.Analyzer
 
-// NewAnalyzer wraps a store.
+// ExecOptions tunes the analyzer's execution engine: Workers is the
+// parallel fan-out width (default runtime.NumCPU()), CacheEntries bounds
+// the versioned result cache (default 64; entries can be megabytes).
+type ExecOptions = core.Options
+
+// ExecStats reports the execution engine's cache and deduplication
+// counters (see Analyzer.ExecStats).
+type ExecStats = exec.Stats
+
+// NewAnalyzer wraps a store with default ExecOptions.
 func NewAnalyzer(st *Store) *Analyzer { return core.NewAnalyzer(st) }
+
+// NewAnalyzerWithOptions wraps a store with explicit execution-engine
+// knobs.
+func NewAnalyzerWithOptions(st *Store, opts ExecOptions) *Analyzer {
+	return core.NewAnalyzerOpts(st, opts)
+}
 
 // TypicalConfig parameterizes typical-pattern discovery.
 type TypicalConfig = core.TypicalConfig
