@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vapd [-addr :8080] [-dir data/] [-seed 42] [-days 365] [-stream] [-interval 10s]
+//	vapd [-addr :8080] [-dir data/] [-seed 42] [-days 365] [-stream] [-interval 10s] [-shards 16]
 //
 // With -dir, the store is durable (WAL + snapshots); if the directory is
 // empty a synthetic dataset is generated and snapshotted into it. With
@@ -37,9 +37,10 @@ func main() {
 	interval := flag.Duration("interval", 10*time.Second, "streaming tick interval")
 	workers := flag.Int("workers", 0, "parallel kernel fan-out (0 = NumCPU)")
 	cacheEntries := flag.Int("cache", 0, "versioned result-cache entries (0 = default 64)")
+	shards := flag.Int("shards", 0, "store lock shards, rounded up to a power of two (0 = default 16)")
 	flag.Parse()
 
-	st, err := store.Open(store.Options{Dir: *dir})
+	st, err := store.Open(store.Options{Dir: *dir, Shards: *shards})
 	if err != nil {
 		log.Fatalf("open store: %v", err)
 	}
@@ -79,7 +80,8 @@ func main() {
 	}
 
 	an := core.NewAnalyzerOpts(st, core.Options{Workers: *workers, CacheEntries: *cacheEntries})
-	log.Printf("exec engine: %d workers, result cache at /api/exec", an.Exec().Workers())
+	log.Printf("exec engine: %d workers over %d store shards, result cache at /api/exec",
+		an.Exec().Workers(), st.NumShards())
 	var hub *stream.Hub
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()

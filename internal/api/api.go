@@ -143,6 +143,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "service": "vap"})
 }
 
+// dataVersion assembles the two-level version stamp handlers attach to
+// responses: the store-wide mutation counter plus the O(shards) global
+// fingerprint over the per-shard versions.
+func (s *Server) dataVersion() stream.DataVersion {
+	st := s.an.Store()
+	return stream.DataVersion{Global: st.Version(), Fingerprint: st.GlobalFingerprint()}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.an.Store().Stats()
 	first, last, ok := s.an.Store().TimeBounds()
@@ -152,10 +160,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"compressed_bytes": st.CompressedBytes,
 		"raw_bytes":        st.RawBytes,
 		"compression":      ratio(st.RawBytes, st.CompressedBytes),
+		"shards":           st.Shards,
 		"data_from":        first,
 		"data_to":          last,
 		"has_data":         ok,
-		"data_version":     s.an.Store().Version(),
+		"data_version":     s.dataVersion(),
 	})
 }
 
@@ -165,14 +174,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	es := s.an.ExecStats()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"workers":       s.an.Exec().Workers(),
-		"cache_entries": s.an.Exec().Len(),
-		"cache_hits":    es.Hits,
-		"cache_misses":  es.Misses,
-		"computes":      es.Computes,
-		"dedups":        es.Dedups,
-		"evictions":     es.Evictions,
-		"data_version":  s.an.Store().Version(),
+		"workers":        s.an.Exec().Workers(),
+		"cache_entries":  s.an.Exec().Len(),
+		"cache_hits":     es.Hits,
+		"cache_misses":   es.Misses,
+		"computes":       es.Computes,
+		"dedups":         es.Dedups,
+		"evictions":      es.Evictions,
+		"shards":         s.an.Store().NumShards(),
+		"shard_versions": s.an.Store().ShardVersions(),
+		"data_version":   s.dataVersion(),
 	})
 }
 

@@ -351,3 +351,58 @@ func TestStreamEndpointSSE(t *testing.T) {
 		}
 	}
 }
+
+// TestDataVersionShape asserts the two-level {global, fingerprint} version
+// stamp on /api/stats and /api/exec, and that an ingest moves both.
+func TestDataVersionShape(t *testing.T) {
+	ds := gen.Generate(gen.Config{
+		Seed:   3,
+		Days:   10,
+		Counts: map[gen.Pattern]int{gen.PatternBimodal: 4},
+	})
+	st, err := store.Open(store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if err := ds.LoadInto(st); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(core.NewAnalyzer(st), nil).Routes())
+	t.Cleanup(srv.Close)
+
+	type versioned struct {
+		Shards      int                `json:"shards"`
+		DataVersion stream.DataVersion `json:"data_version"`
+	}
+	var stats, execStats versioned
+	if code := getJSON(t, srv.URL+"/api/stats", &stats); code != 200 {
+		t.Fatalf("stats status = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/api/exec", &execStats); code != 200 {
+		t.Fatalf("exec status = %d", code)
+	}
+	if stats.Shards <= 0 {
+		t.Errorf("stats shards = %d, want > 0", stats.Shards)
+	}
+	if stats.DataVersion.Global == 0 || stats.DataVersion.Fingerprint == 0 {
+		t.Errorf("stats data_version = %+v, want nonzero fields", stats.DataVersion)
+	}
+	if execStats.DataVersion != stats.DataVersion {
+		t.Errorf("exec and stats disagree: %+v vs %+v", execStats.DataVersion, stats.DataVersion)
+	}
+
+	id := ds.Customers[0].Meter.ID
+	_, last, _ := st.Bounds(id)
+	if err := st.Append(id, store.Sample{TS: last + 3600, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var after versioned
+	getJSON(t, srv.URL+"/api/stats", &after)
+	if after.DataVersion.Global <= stats.DataVersion.Global {
+		t.Errorf("global did not advance: %d -> %d", stats.DataVersion.Global, after.DataVersion.Global)
+	}
+	if after.DataVersion.Fingerprint == stats.DataVersion.Fingerprint {
+		t.Error("all-meters fingerprint unchanged after append")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"vap/internal/kde"
 	"vap/internal/query"
 	"vap/internal/reduce"
 	"vap/internal/store"
@@ -150,5 +151,154 @@ func TestConcurrentIdenticalRequestsSingleflight(t *testing.T) {
 		if views[i] != views[0] {
 			t.Fatalf("caller %d got a different view instance", i)
 		}
+	}
+}
+
+// TestSelectionScopedInvalidation is the streaming-cache contract of the
+// sharded store: an append to meter A invalidates only cached views whose
+// selections contain A. Views over disjoint selections keep hitting.
+func TestSelectionScopedInvalidation(t *testing.T) {
+	an, ds := fixture(t)
+	ctx := context.Background()
+
+	// Two disjoint halves of the population by explicit meter IDs, over an
+	// explicit time window: a zero window resolves to the store-wide data
+	// extent, which legitimately moves (and must invalidate) when any
+	// meter receives newer samples.
+	var selA, selB query.Selection
+	selA.From, selA.To = ds.Start.Unix(), ds.Start.Unix()+30*86400
+	selB.From, selB.To = selA.From, selA.To
+	for i, c := range ds.Customers {
+		if i%2 == 0 {
+			selA.MeterIDs = append(selA.MeterIDs, c.Meter.ID)
+		} else {
+			selB.MeterIDs = append(selB.MeterIDs, c.Meter.ID)
+		}
+	}
+	cfgA := TypicalConfig{Selection: selA, Seed: 7, Method: reduce.MethodMDS}
+	cfgB := TypicalConfig{Selection: selB, Seed: 7, Method: reduce.MethodMDS}
+
+	vA, err := an.TypicalPatterns(ctx, cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vB, err := an.TypicalPatterns(ctx, cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := an.ExecStats().Computes
+
+	// Append to a meter inside selection A only.
+	mutated := selA.MeterIDs[0]
+	_, last, _ := an.Store().Bounds(mutated)
+	if err := an.Store().Append(mutated, store.Sample{TS: last + 3600, Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	// B's selection excludes the mutated meter: still a cache hit.
+	vB2, err := an.TypicalPatterns(ctx, cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := an.ExecStats().Computes; got != warm {
+		t.Fatalf("disjoint selection recomputed after unrelated append: computes %d -> %d", warm, got)
+	}
+	if vB2 != vB {
+		t.Fatal("disjoint selection did not return the cached view")
+	}
+
+	// A's selection contains the mutated meter: must miss and recompute.
+	vA2, err := an.TypicalPatterns(ctx, cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := an.ExecStats().Computes; got != warm+1 {
+		t.Fatalf("selection containing mutated meter did not recompute: computes = %d, want %d", got, warm+1)
+	}
+	if vA2 == vA {
+		t.Fatal("stale view returned for the mutated selection")
+	}
+}
+
+// TestSelectionScopedInvalidationDensity covers the same contract on the
+// DemandDensity path used by the heat-map renders during streaming ingest.
+func TestSelectionScopedInvalidationDensity(t *testing.T) {
+	an, ds := fixture(t)
+	ctx := context.Background()
+
+	var selA, selB query.Selection
+	for i, c := range ds.Customers {
+		if i%2 == 0 {
+			selA.MeterIDs = append(selA.MeterIDs, c.Meter.ID)
+		} else {
+			selB.MeterIDs = append(selB.MeterIDs, c.Meter.ID)
+		}
+	}
+	from := ds.Start.Unix()
+	to := from + 86400
+
+	if _, err := an.DemandDensity(ctx, selA, from, to, kde.Config{Cols: 32, Rows: 32}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := an.DemandDensity(ctx, selB, from, to, kde.Config{Cols: 32, Rows: 32}); err != nil {
+		t.Fatal(err)
+	}
+	warm := an.ExecStats().Computes
+
+	mutated := selA.MeterIDs[0]
+	_, last, _ := an.Store().Bounds(mutated)
+	if err := an.Store().Append(mutated, store.Sample{TS: last + 3600, Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := an.DemandDensity(ctx, selB, from, to, kde.Config{Cols: 32, Rows: 32}); err != nil {
+		t.Fatal(err)
+	}
+	if got := an.ExecStats().Computes; got != warm {
+		t.Fatalf("disjoint density recomputed: computes %d -> %d", warm, got)
+	}
+	if _, err := an.DemandDensity(ctx, selA, from, to, kde.Config{Cols: 32, Rows: 32}); err != nil {
+		t.Fatal(err)
+	}
+	if got := an.ExecStats().Computes; got != warm+1 {
+		t.Fatalf("mutated density selection did not recompute: computes = %d, want %d", got, warm+1)
+	}
+}
+
+// TestDefaultWindowInvalidatedByExtentGrowth is the counterpart contract:
+// a view over the *default* (zero) time window resolves to the store-wide
+// data extent, so an append that extends the extent — even to a meter
+// outside the selection — changes the bucket axis and must recompute.
+func TestDefaultWindowInvalidatedByExtentGrowth(t *testing.T) {
+	an, ds := fixture(t)
+	ctx := context.Background()
+
+	// Selection B: second half of the population, default window.
+	var selB query.Selection
+	for i, c := range ds.Customers {
+		if i%2 == 1 {
+			selB.MeterIDs = append(selB.MeterIDs, c.Meter.ID)
+		}
+	}
+	cfgB := TypicalConfig{Selection: selB, Seed: 7, Method: reduce.MethodMDS}
+	if _, err := an.TypicalPatterns(ctx, cfgB); err != nil {
+		t.Fatal(err)
+	}
+	warm := an.ExecStats().Computes
+
+	// Append to a meter OUTSIDE B, beyond the current global extent.
+	outside := ds.Customers[0].Meter.ID
+	_, last, ok := an.Store().TimeBounds()
+	if !ok {
+		t.Fatal("no data")
+	}
+	if err := an.Store().Append(outside, store.Sample{TS: last + 86400, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := an.TypicalPatterns(ctx, cfgB); err != nil {
+		t.Fatal(err)
+	}
+	if got := an.ExecStats().Computes; got != warm+1 {
+		t.Fatalf("extent growth did not invalidate the default-window view: computes = %d, want %d", got, warm+1)
 	}
 }

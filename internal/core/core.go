@@ -145,15 +145,29 @@ type TypicalView struct {
 func (v *TypicalView) Rows() [][]float64 { return v.rows }
 
 // TypicalPatterns runs the pipeline: select meters, build the feature
-// matrix, reduce to 2-D. Results are memoized against the store's data
-// version, so repeated brushes over an unchanged dataset return the same
-// *TypicalView without re-running t-SNE, and concurrent identical requests
-// share one computation.
+// matrix, reduce to 2-D. Results are memoized against the selection's
+// version fingerprint — the hash of the per-meter versions of exactly the
+// meters the selection resolves to — so repeated brushes over an unchanged
+// selection return the same *TypicalView without re-running t-SNE even
+// while other meters stream in, and concurrent identical requests share
+// one computation.
 func (a *Analyzer) TypicalPatterns(ctx context.Context, cfg TypicalConfig) (*TypicalView, error) {
 	cfg.defaults()
-	parts := append(selectionKeyParts(cfg.Selection),
+	fp, err := a.eng.VersionFingerprint(cfg.Selection)
+	if err != nil {
+		return nil, err
+	}
+	// The effective window enters the key resolved, not as the literal
+	// From/To: a zero window means "full data extent", which moves when
+	// any meter — inside the selection or not — receives newer samples,
+	// changing the bucket axis the feature matrix is built on.
+	from, to, err := a.eng.TimeWindow(cfg.Selection)
+	if err != nil {
+		return nil, err
+	}
+	parts := append(selectionKeyParts(cfg.Selection), from, to,
 		cfg.Granularity, cfg.Aggregate, cfg.Method, cfg.Metric, cfg.Seed, cfg.UseDailyProfile)
-	key := exec.KeyOf(a.Store().Version(), "typical", parts...)
+	key := exec.KeyOf(fp, "typical", parts...)
 	v, err := a.ex.Do(ctx, key, func(ctx context.Context) (any, error) {
 		return a.computeTypical(ctx, cfg)
 	})
@@ -444,10 +458,18 @@ func (a *Analyzer) ShiftPatternsCtx(ctx context.Context, cfg ShiftConfig) (*Shif
 	if t1a == t2a {
 		return nil, fmt.Errorf("core: T1 and T2 fall in the same %s bucket", g)
 	}
+	fp, err := a.eng.VersionFingerprint(cfg.Selection)
+	if err != nil {
+		return nil, err
+	}
+	// The study-area box is derived from the whole catalog, not the
+	// selection, so it enters the key parts explicitly: a meter registered
+	// outside the selection that widens the box must still miss.
+	box := a.Store().Catalog().Bounds()
 	parts := append(selectionKeyParts(cfg.Selection),
 		t1a, t2a, g, cfg.IntensityQuantile, cfg.GridCols, cfg.GridRows,
-		cfg.Bandwidth, cfg.Kernel, cfg.OD)
-	key := exec.KeyOf(a.Store().Version(), "shift", parts...)
+		cfg.Bandwidth, cfg.Kernel, cfg.OD, box)
+	key := exec.KeyOf(fp, "shift", parts...)
 	v, err := a.ex.Do(ctx, key, func(ctx context.Context) (any, error) {
 		return a.computeShift(ctx, cfg, t1a, t1b, t2a, t2b)
 	})
@@ -532,9 +554,16 @@ func (a *Analyzer) DemandDensity(ctx context.Context, sel query.Selection, from,
 		kcfg.Kernel = kde.KernelGaussian
 	}
 	kcfg.Workers = a.ex.Workers()
+	fp, err := a.eng.VersionFingerprint(sel)
+	if err != nil {
+		return nil, err
+	}
+	// Like ShiftPatternsCtx, the catalog-wide study-area box is a real
+	// input the fingerprint does not cover.
 	parts := append(selectionKeyParts(sel),
-		from, to, kcfg.Cols, kcfg.Rows, kcfg.Bandwidth, kcfg.Kernel, kcfg.Exact)
-	key := exec.KeyOf(a.Store().Version(), "density", parts...)
+		from, to, kcfg.Cols, kcfg.Rows, kcfg.Bandwidth, kcfg.Kernel, kcfg.Exact,
+		a.Store().Catalog().Bounds())
+	key := exec.KeyOf(fp, "density", parts...)
 	v, err := a.ex.Do(ctx, key, func(ctx context.Context) (any, error) {
 		dps, err := a.eng.DemandSnapshotCtx(ctx, sel, from, to)
 		if err != nil {

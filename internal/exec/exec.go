@@ -10,9 +10,11 @@
 //     goroutines with dynamic scheduling and context cancellation;
 //   - singleflight deduplication: concurrent Do calls for the same Key
 //     share one computation instead of racing duplicates;
-//   - a versioned, LRU-bounded result cache: keys embed the data-layer
-//     version (store.Store.Version), so a store append precisely
-//     invalidates every result computed against the old data without any
+//   - a versioned, LRU-bounded result cache: keys embed a data-layer
+//     version — typically the selection fingerprint of exactly the meters
+//     a task reads (query.Engine.VersionFingerprint over the sharded
+//     store's per-meter versions) — so an append invalidates only the
+//     results whose selections contain the mutated meters, without any
 //     explicit cache flush.
 package exec
 
@@ -61,8 +63,10 @@ type Stats struct {
 }
 
 // Key identifies one memoizable result: the data version it was computed
-// against, a task-family tag, and a canonical fingerprint of every
-// parameter that influences the result.
+// against — the caller's choice of the store's global version or, for
+// selection-scoped invalidation, a per-meter version fingerprint — a
+// task-family tag, and a canonical fingerprint of every parameter that
+// influences the result.
 type Key struct {
 	Version uint64
 	Kind    string

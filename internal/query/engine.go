@@ -87,6 +87,28 @@ func (e *Engine) ResolveMeters(sel Selection) ([]int64, error) {
 	return ids, nil
 }
 
+// VersionFingerprint resolves sel and hashes the per-meter versions of
+// exactly the meters it covers into one selection-scoped data version.
+// Execution-layer caches keyed on it stay valid across appends to meters
+// outside the selection — the fine-grained replacement for keying every
+// result on the store's global version.
+func (e *Engine) VersionFingerprint(sel Selection) (uint64, error) {
+	ids, err := e.ResolveMeters(sel)
+	if err != nil {
+		return 0, err
+	}
+	return e.st.Fingerprint(ids), nil
+}
+
+// TimeWindow resolves the selection's effective half-open time window:
+// explicit From/To when set, the store's full data extent otherwise.
+// Callers memoizing window-dependent results must key on this resolved
+// window, not the literal selection fields — the default extent moves when
+// any meter (inside the selection or not) receives a newer sample.
+func (e *Engine) TimeWindow(sel Selection) (int64, int64, error) {
+	return e.timeWindow(sel)
+}
+
 // timeWindow resolves the selection's window, defaulting to the store's full
 // data extent (half-open, so To is one past the last sample).
 func (e *Engine) timeWindow(sel Selection) (int64, int64, error) {
@@ -104,17 +126,18 @@ func (e *Engine) timeWindow(sel Selection) (int64, int64, error) {
 	return from, to, nil
 }
 
-// MeterSeries returns the aggregated series of a single meter.
+// MeterSeries returns the aggregated series of a single meter, streaming
+// samples out of the store's pushdown iterator.
 func (e *Engine) MeterSeries(meterID int64, sel Selection, g Granularity, fn AggFunc) ([]Bucket, error) {
 	from, to, err := e.timeWindow(sel)
 	if err != nil {
 		return nil, err
 	}
-	samples, err := e.st.Range(meterID, from, to)
+	it, err := e.st.Iter(meterID, from, to)
 	if err != nil {
 		return nil, err
 	}
-	return Aggregate(samples, g, fn)
+	return AggregateIter(it, g, fn)
 }
 
 // MeterMatrix returns one aggregated row per selected meter, all aligned to
@@ -147,11 +170,11 @@ func (e *Engine) MeterMatrixCtx(ctx context.Context, sel Selection, g Granularit
 	}
 	rows = make([][]float64, len(ids))
 	err = exec.ForEach(ctx, len(ids), e.workers, func(r int) error {
-		samples, err := e.st.Range(ids[r], from, to)
+		it, err := e.st.Iter(ids[r], from, to)
 		if err != nil {
 			return err
 		}
-		buckets, err := Aggregate(samples, g, fn)
+		buckets, err := AggregateIter(it, g, fn)
 		if err != nil {
 			return err
 		}
@@ -188,13 +211,16 @@ func (e *Engine) TotalByMeterCtx(ctx context.Context, sel Selection) (map[int64]
 	}
 	totals := make([]float64, len(ids))
 	err = exec.ForEach(ctx, len(ids), e.workers, func(i int) error {
-		samples, err := e.st.Range(ids[i], from, to)
+		it, err := e.st.Iter(ids[i], from, to)
 		if err != nil {
 			return err
 		}
 		s := 0.0
-		for _, smp := range samples {
-			s += smp.Value
+		for it.Next() {
+			s += it.Sample().Value
+		}
+		if err := it.Err(); err != nil {
+			return err
 		}
 		totals[i] = s
 		return nil
@@ -270,18 +296,21 @@ func (e *Engine) DemandSnapshotCtx(ctx context.Context, sel Selection, from, to 
 	}
 	means := make([]float64, len(ids))
 	err = exec.ForEach(ctx, len(ids), e.workers, func(i int) error {
-		samples, err := e.st.Range(ids[i], from, to)
+		it, err := e.st.Iter(ids[i], from, to)
 		if err != nil {
 			return err
 		}
-		if len(samples) == 0 {
-			return nil
+		sum, n := 0.0, 0
+		for it.Next() {
+			sum += it.Sample().Value
+			n++
 		}
-		sum := 0.0
-		for _, smp := range samples {
-			sum += smp.Value
+		if err := it.Err(); err != nil {
+			return err
 		}
-		means[i] = sum / float64(len(samples))
+		if n > 0 {
+			means[i] = sum / float64(n)
+		}
 		return nil
 	})
 	if err != nil {

@@ -141,16 +141,48 @@ type Bucket struct {
 	Count int     `json:"count"`
 }
 
+// SampleIter is the pushdown sample stream the aggregation paths consume
+// instead of materialized slices; *store.SeriesIter satisfies it.
+type SampleIter interface {
+	Next() bool
+	Sample() store.Sample
+	Err() error
+}
+
 // Aggregate buckets the samples by granularity and combines each bucket
 // with fn. Input must be time-ordered; output is time-ordered.
 func Aggregate(samples []store.Sample, g Granularity, fn AggFunc) ([]Bucket, error) {
+	return AggregateIter(&sliceIter{samples: samples}, g, fn)
+}
+
+// sliceIter adapts a materialized slice to SampleIter.
+type sliceIter struct {
+	samples []store.Sample
+	i       int
+}
+
+func (s *sliceIter) Next() bool {
+	if s.i >= len(s.samples) {
+		return false
+	}
+	s.i++
+	return true
+}
+func (s *sliceIter) Sample() store.Sample { return s.samples[s.i-1] }
+func (s *sliceIter) Err() error           { return nil }
+
+// AggregateIter buckets a time-ordered sample stream by granularity and
+// combines each bucket with fn, consuming one sample at a time so callers
+// never hold a full decoded series in memory.
+func AggregateIter(it SampleIter, g Granularity, fn AggFunc) ([]Bucket, error) {
 	switch fn {
 	case AggSum, AggMean, AggMax, AggMin:
 	default:
 		return nil, fmt.Errorf("query: unknown aggregate %q", fn)
 	}
 	var out []Bucket
-	for _, s := range samples {
+	for it.Next() {
+		s := it.Sample()
 		start := g.Truncate(s.TS)
 		if n := len(out); n > 0 && out[n-1].Start == start {
 			b := &out[n-1]
@@ -170,6 +202,9 @@ func Aggregate(samples []store.Sample, g Granularity, fn AggFunc) ([]Bucket, err
 		} else {
 			out = append(out, Bucket{Start: start, Value: s.Value, Count: 1})
 		}
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
 	}
 	if fn == AggMean {
 		for i := range out {

@@ -1,0 +1,95 @@
+package store
+
+// iterSegment is one compressed block a SeriesIter decodes lazily: either
+// an immutable sealed chunk's payload (shared, never copied) or a private
+// copy of the head block taken at iterator construction.
+type iterSegment struct {
+	payload []byte
+	count   int
+}
+
+// SeriesIter streams the samples of one series with from <= TS < to in
+// timestamp order, decoding one Gorilla block at a time instead of
+// materializing full sample slices. Blocks wholly outside the window are
+// pruned by their cached min/max timestamps without decoding.
+//
+// A SeriesIter is a point-in-time snapshot: sealed chunks are immutable
+// and the head block is copied at construction, so iteration is safe after
+// the owning shard lock is released and is unaffected by concurrent
+// appends. It is not safe for concurrent use by multiple goroutines.
+type SeriesIter struct {
+	segs     []iterSegment
+	cur      *Iterator
+	from, to int64
+	smp      Sample
+	err      error
+	done     bool
+}
+
+// Iter returns an iterator over the window [from, to). Callers must hold
+// the series' external synchronization (the store's shard lock) during the
+// call itself; the returned iterator needs no further locking.
+func (s *Series) Iter(from, to int64) *SeriesIter {
+	it := &SeriesIter{from: from, to: to}
+	if to <= from || s.total == 0 {
+		it.done = true
+		return it
+	}
+	for _, c := range s.sealed {
+		if c.maxTS < from || c.minTS >= to {
+			continue
+		}
+		it.segs = append(it.segs, iterSegment{payload: c.payload, count: c.count})
+	}
+	if s.head.Len() > 0 && s.headMinTS < to && s.head.LastTS() >= from {
+		it.segs = append(it.segs, iterSegment{payload: s.head.Bytes(), count: s.head.Len()})
+	}
+	if len(it.segs) == 0 {
+		it.done = true
+	}
+	return it
+}
+
+// Next advances to the next in-window sample, returning false at the end
+// of the window or on a decode error.
+func (it *SeriesIter) Next() bool {
+	for {
+		if it.done || it.err != nil {
+			return false
+		}
+		if it.cur == nil {
+			if len(it.segs) == 0 {
+				it.done = true
+				return false
+			}
+			seg := it.segs[0]
+			it.segs = it.segs[1:]
+			it.cur = NewIterator(seg.payload, seg.count)
+		}
+		for it.cur.Next() {
+			s := it.cur.Sample()
+			if s.TS < it.from {
+				continue
+			}
+			if s.TS >= it.to {
+				// Blocks are time-ordered and disjoint: nothing later can
+				// be in the window either.
+				it.done = true
+				return false
+			}
+			it.smp = s
+			return true
+		}
+		if err := it.cur.Err(); err != nil {
+			it.err = err
+			return false
+		}
+		it.cur = nil
+	}
+}
+
+// Sample returns the current sample after a successful Next.
+func (it *SeriesIter) Sample() Sample { return it.smp }
+
+// Err returns the first decode error encountered, if any.
+func (it *SeriesIter) Err() error { return it.err }

@@ -2,7 +2,6 @@ package store
 
 import (
 	"errors"
-	"sort"
 )
 
 // chunkTargetSamples is the flush threshold of the in-progress chunk.
@@ -15,23 +14,31 @@ type chunk struct {
 	payload      []byte
 }
 
-func (c *chunk) samples() ([]Sample, error) {
-	return Decode(c.payload, c.count)
-}
-
 // Series is an append-only compressed time series for one meter.
 // It is not internally synchronized; Store serializes access.
 type Series struct {
 	MeterID int64
 	sealed  []*chunk
 	head    *Encoder
-	total   int
+	// headMinTS caches the first timestamp of the head block so Bounds and
+	// window pruning never decode the head just to read a timestamp. Valid
+	// only while head.Len() > 0.
+	headMinTS int64
+	total     int
+	// ver is the per-meter version: bumped on every mutation of this meter
+	// (Append here; registration/replacement by the Store). Guarded by the
+	// owner's shard lock, like every other field.
+	ver uint64
 }
 
-// NewSeries returns an empty series for the given meter.
+// NewSeries returns an empty series for the given meter. A fresh series
+// starts at version 1: its registration is itself a mutation.
 func NewSeries(meterID int64) *Series {
-	return &Series{MeterID: meterID, head: NewEncoder()}
+	return &Series{MeterID: meterID, head: NewEncoder(), ver: 1}
 }
+
+// Version returns the per-meter version.
+func (s *Series) Version() uint64 { return s.ver }
 
 // Len returns the total number of stored samples.
 func (s *Series) Len() int { return s.total }
@@ -53,10 +60,14 @@ func (s *Series) Append(smp Sample) error {
 	if s.total > 0 && smp.TS <= s.LastTS() {
 		return ErrOutOfOrder
 	}
+	if s.head.Len() == 0 {
+		s.headMinTS = smp.TS
+	}
 	if err := s.head.Append(smp); err != nil {
 		return err
 	}
 	s.total++
+	s.ver++
 	if s.head.Len() >= chunkTargetSamples {
 		s.seal()
 	}
@@ -94,36 +105,16 @@ func (s *Series) CompressedBytes() int {
 	return n
 }
 
-// Range returns all samples with from <= TS < to, in timestamp order.
+// Range returns all samples with from <= TS < to, in timestamp order,
+// materialized from the pushdown iterator.
 func (s *Series) Range(from, to int64) ([]Sample, error) {
-	if to <= from {
-		return nil, nil
-	}
 	var out []Sample
-	for _, c := range s.sealed {
-		if c.maxTS < from || c.minTS >= to {
-			continue
-		}
-		samples, err := c.samples()
-		if err != nil {
-			return nil, err
-		}
-		// Binary search the start within the chunk.
-		i := sort.Search(len(samples), func(k int) bool { return samples[k].TS >= from })
-		for ; i < len(samples) && samples[i].TS < to; i++ {
-			out = append(out, samples[i])
-		}
+	it := s.Iter(from, to)
+	for it.Next() {
+		out = append(out, it.Sample())
 	}
-	if s.head.Len() > 0 {
-		headSamples, err := Decode(s.head.Bytes(), s.head.Len())
-		if err != nil {
-			return nil, err
-		}
-		for _, smp := range headSamples {
-			if smp.TS >= from && smp.TS < to {
-				out = append(out, smp)
-			}
-		}
+	if err := it.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -144,7 +135,8 @@ const (
 // ErrEmptySeries is returned by operations requiring data.
 var ErrEmptySeries = errors.New("store: empty series")
 
-// Bounds returns the first and last timestamps.
+// Bounds returns the first and last timestamps. Both ends are O(1): chunk
+// boundaries and the head min/max are tracked on append, never decoded.
 func (s *Series) Bounds() (first, last int64, err error) {
 	if s.total == 0 {
 		return 0, 0, ErrEmptySeries
@@ -152,11 +144,7 @@ func (s *Series) Bounds() (first, last int64, err error) {
 	if len(s.sealed) > 0 {
 		first = s.sealed[0].minTS
 	} else {
-		headSamples, derr := Decode(s.head.Bytes(), s.head.Len())
-		if derr != nil {
-			return 0, 0, derr
-		}
-		first = headSamples[0].TS
+		first = s.headMinTS
 	}
 	return first, s.LastTS(), nil
 }

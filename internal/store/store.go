@@ -3,8 +3,10 @@ package store
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"hash/fnv"
 	"io"
 	"math"
 	"os"
@@ -32,35 +34,109 @@ type Options struct {
 	// SyncEveryAppend fsyncs the WAL after every sample; defaults to false
 	// (the WAL is flushed on Snapshot/Close and buffered in between).
 	SyncEveryAppend bool
+	// Shards is the number of lock shards the series map is split across.
+	// Meters are hashed by ID onto shards, so concurrent appends and reads
+	// touching different meters contend only when they land on the same
+	// shard. <= 0 selects 16; other values are rounded up to the next
+	// power of two.
+	Shards int
+}
+
+const defaultShards = 16
+
+// shard owns a disjoint slice of the meter space: its own series map,
+// mutex, and monotonic mutation counter.
+type shard struct {
+	mu      sync.RWMutex
+	series  map[int64]*Series
+	version atomic.Uint64 // mutations that landed on this shard
 }
 
 // Store is the embedded spatio-temporal database: a catalog of meters with
 // a spatial index, one compressed time series per meter, and optional
 // durability (WAL + snapshots). It is safe for concurrent use.
+//
+// The series map is split across lock shards (Options.Shards) so ingest
+// and query traffic on different meters does not serialize behind one
+// global mutex. Every series additionally carries a per-meter version,
+// bumped on each mutation of that meter; Fingerprint hashes the versions
+// of a meter subset so execution-layer caches can key results on exactly
+// the meters a task reads.
 type Store struct {
-	mu      sync.RWMutex
 	catalog *Catalog
-	series  map[int64]*Series
-	wal     *WAL
+	shards  []*shard
+	mask    uint64
 	opts    Options
-	// version counts successful mutations (meter registrations, appends).
-	// Execution-layer caches embed it in their keys, so any ingest
-	// precisely invalidates results computed against older data.
+	// walMu serializes WAL writes across shards. Lock order is always
+	// shard(s) before walMu, so per-meter WAL record order matches series
+	// order and replay never drops an append as out-of-order.
+	walMu sync.Mutex
+	wal   *WAL
+	// closed flips once in Close while every shard lock is held, so any
+	// mutation that observes it false under its shard lock is guaranteed
+	// to finish before the WAL is released.
+	closed atomic.Bool
+	// version counts successful mutations store-wide (meter registrations,
+	// appends). It is the coarse invalidation signal; Fingerprint is the
+	// precise, selection-scoped one.
 	version atomic.Uint64
 }
+
+// ErrClosed is returned by mutations (and a second Close) after the store
+// has been closed. Reads keep working on the in-memory data.
+var ErrClosed = errors.New("store: closed")
 
 // Version returns the store's monotonically increasing data version. It
 // changes on every successful mutation and never decreases; two equal
 // versions imply identical stored data.
 func (s *Store) Version() uint64 { return s.version.Load() }
 
+// NumShards returns the number of lock shards.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// ShardVersions returns each shard's mutation counter, indexed by shard.
+func (s *Store) ShardVersions() []uint64 {
+	out := make([]uint64, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.version.Load()
+	}
+	return out
+}
+
+// shardFor maps a meter ID onto its shard with a 64-bit finalizer so
+// sequentially assigned IDs spread instead of clustering.
+func (s *Store) shardFor(id int64) *shard {
+	x := uint64(id)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return s.shards[x&s.mask]
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // Open creates a Store. If opts.Dir is non-empty, it loads the latest
 // snapshot (if any) and replays the WAL on top of it.
 func Open(opts Options) (*Store, error) {
+	n := opts.Shards
+	if n <= 0 {
+		n = defaultShards
+	}
+	n = nextPow2(n)
 	s := &Store{
 		catalog: NewCatalog(),
-		series:  make(map[int64]*Series),
+		shards:  make([]*shard, n),
+		mask:    uint64(n - 1),
 		opts:    opts,
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{series: make(map[int64]*Series)}
 	}
 	if opts.Dir == "" {
 		return s, nil
@@ -76,10 +152,10 @@ func Open(opts Options) (*Store, error) {
 	}
 	walPath := filepath.Join(opts.Dir, "wal.log")
 	err := ReplayWAL(walPath,
-		func(m Meter) error { return s.putMeterLocked(m) },
+		func(m Meter) error { return s.replayMeter(m) },
 		func(id int64, smp Sample) error {
 			// Replay may overlap the snapshot; skip stale samples.
-			err := s.appendLocked(id, smp)
+			err := s.replaySample(id, smp)
 			if err == ErrOutOfOrder || err == ErrUnknownMeter {
 				return nil
 			}
@@ -99,10 +175,32 @@ func Open(opts Options) (*Store, error) {
 // ErrUnknownMeter is returned when appending to an unregistered meter.
 var ErrUnknownMeter = fmt.Errorf("store: unknown meter")
 
-// Close flushes the WAL and releases resources.
+// lockAll/unlockAll take every shard lock in index order (whole-store
+// operations: Close, Snapshot).
+func (s *Store) lockAll() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+}
+
+func (s *Store) unlockAll() {
+	for _, sh := range s.shards {
+		sh.mu.Unlock()
+	}
+}
+
+// Close flushes the WAL and releases resources. A second Close, like any
+// mutation after the first, returns ErrClosed.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	if s.closed.Load() {
+		s.unlockAll()
+		return ErrClosed
+	}
+	s.closed.Store(true)
+	s.unlockAll()
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
 	if s.wal != nil {
 		return s.wal.Close()
 	}
@@ -112,62 +210,94 @@ func (s *Store) Close() error {
 // Catalog exposes the meter metadata registry.
 func (s *Store) Catalog() *Catalog { return s.catalog }
 
-// PutMeter registers a meter and creates its (empty) series.
-func (s *Store) PutMeter(m Meter) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.putMeterLocked(m); err != nil {
-		return err
-	}
-	if s.wal != nil {
-		if err := s.wal.AppendMeter(m); err != nil {
-			return err
-		}
-		if s.opts.SyncEveryAppend {
-			return s.wal.Sync()
-		}
-	}
-	return nil
-}
-
-func (s *Store) putMeterLocked(m Meter) error {
+// putMeterShardLocked registers m under its (held) shard lock: catalog
+// entry, series creation (or a version bump when replacing an existing
+// meter, since relocation changes query results), and version bumps.
+func (s *Store) putMeterShardLocked(sh *shard, m Meter) error {
 	if err := s.catalog.Put(m); err != nil {
 		return err
 	}
-	if _, ok := s.series[m.ID]; !ok {
-		s.series[m.ID] = NewSeries(m.ID)
+	if ser, ok := sh.series[m.ID]; ok {
+		ser.ver++
+	} else {
+		sh.series[m.ID] = NewSeries(m.ID)
 	}
+	sh.version.Add(1)
 	s.version.Add(1)
 	return nil
 }
 
-// Append stores one sample for a registered meter.
-func (s *Store) Append(meterID int64, smp Sample) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.appendLocked(meterID, smp); err != nil {
+// PutMeter registers a meter and creates its (empty) series. Re-putting an
+// existing meter replaces its metadata and bumps its version.
+func (s *Store) PutMeter(m Meter) error {
+	sh := s.shardFor(m.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if err := s.putMeterShardLocked(sh, m); err != nil {
 		return err
 	}
 	if s.wal != nil {
-		if err := s.wal.AppendSample(meterID, smp); err != nil {
-			return err
+		s.walMu.Lock()
+		err := s.wal.AppendMeter(m)
+		if err == nil && s.opts.SyncEveryAppend {
+			err = s.wal.Sync()
 		}
-		if s.opts.SyncEveryAppend {
-			return s.wal.Sync()
-		}
+		s.walMu.Unlock()
+		return err
 	}
 	return nil
 }
 
-func (s *Store) appendLocked(meterID int64, smp Sample) error {
-	ser, ok := s.series[meterID]
+func (s *Store) replayMeter(m Meter) error {
+	sh := s.shardFor(m.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return s.putMeterShardLocked(sh, m)
+}
+
+func (s *Store) replaySample(id int64, smp Sample) error {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return s.appendShardLocked(sh, id, smp)
+}
+
+func (s *Store) appendShardLocked(sh *shard, meterID int64, smp Sample) error {
+	ser, ok := sh.series[meterID]
 	if !ok {
 		return ErrUnknownMeter
 	}
 	if err := ser.Append(smp); err != nil {
 		return err
 	}
+	sh.version.Add(1)
 	s.version.Add(1)
+	return nil
+}
+
+// Append stores one sample for a registered meter.
+func (s *Store) Append(meterID int64, smp Sample) error {
+	sh := s.shardFor(meterID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if err := s.appendShardLocked(sh, meterID, smp); err != nil {
+		return err
+	}
+	if s.wal != nil {
+		s.walMu.Lock()
+		err := s.wal.AppendSample(meterID, smp)
+		if err == nil && s.opts.SyncEveryAppend {
+			err = s.wal.Sync()
+		}
+		s.walMu.Unlock()
+		return err
+	}
 	return nil
 }
 
@@ -175,20 +305,32 @@ func (s *Store) appendLocked(meterID int64, smp Sample) error {
 // lock and WAL overhead. It stops at the first error, returning the number
 // of samples stored.
 func (s *Store) AppendBatch(meterID int64, smps []Sample) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ser, ok := s.series[meterID]
+	sh := s.shardFor(meterID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s.closed.Load() {
+		return 0, ErrClosed
+	}
+	ser, ok := sh.series[meterID]
 	if !ok {
 		return 0, ErrUnknownMeter
+	}
+	if s.wal != nil {
+		s.walMu.Lock()
+		defer s.walMu.Unlock()
 	}
 	for i, smp := range smps {
 		if err := ser.Append(smp); err != nil {
 			return i, err
 		}
+		sh.version.Add(1)
 		s.version.Add(1)
 		if s.wal != nil {
 			if err := s.wal.AppendSample(meterID, smp); err != nil {
-				return i, err
+				// Sample i is already applied in memory; report it stored
+				// so a resuming caller does not replay it into
+				// ErrOutOfOrder.
+				return i + 1, err
 			}
 		}
 	}
@@ -200,20 +342,38 @@ func (s *Store) AppendBatch(meterID int64, smps []Sample) (int, error) {
 
 // Range returns the samples of one meter with from <= TS < to.
 func (s *Store) Range(meterID int64, from, to int64) ([]Sample, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ser, ok := s.series[meterID]
+	sh := s.shardFor(meterID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ser, ok := sh.series[meterID]
 	if !ok {
 		return nil, ErrUnknownMeter
 	}
 	return ser.Range(from, to)
 }
 
+// Iter returns a pushdown iterator over one meter's samples with
+// from <= TS < to. The iterator snapshots the series under the shard lock
+// (immutable sealed chunks plus a copy of the head block) and then decodes
+// lock-free, so callers stream samples without blocking writers and
+// without materializing full sample slices.
+func (s *Store) Iter(meterID int64, from, to int64) (*SeriesIter, error) {
+	sh := s.shardFor(meterID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ser, ok := sh.series[meterID]
+	if !ok {
+		return nil, ErrUnknownMeter
+	}
+	return ser.Iter(from, to), nil
+}
+
 // SeriesLen returns the number of samples stored for a meter.
 func (s *Store) SeriesLen(meterID int64) (int, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ser, ok := s.series[meterID]
+	sh := s.shardFor(meterID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ser, ok := sh.series[meterID]
 	if !ok {
 		return 0, ErrUnknownMeter
 	}
@@ -222,33 +382,106 @@ func (s *Store) SeriesLen(meterID int64) (int, error) {
 
 // Bounds returns the first and last timestamps of a meter's series.
 func (s *Store) Bounds(meterID int64) (int64, int64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ser, ok := s.series[meterID]
+	sh := s.shardFor(meterID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ser, ok := sh.series[meterID]
 	if !ok {
 		return 0, 0, ErrUnknownMeter
 	}
 	return ser.Bounds()
 }
 
+// MeterVersion returns the per-meter version: a counter bumped on every
+// mutation of that meter (registration, metadata replacement, append).
+func (s *Store) MeterVersion(meterID int64) (uint64, error) {
+	sh := s.shardFor(meterID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ser, ok := sh.series[meterID]
+	if !ok {
+		return 0, ErrUnknownMeter
+	}
+	return ser.ver, nil
+}
+
+// MeterVersions returns the per-meter versions of ids, aligned by index
+// (0 for unknown meters). Lookups are grouped so each shard is locked at
+// most once.
+func (s *Store) MeterVersions(ids []int64) []uint64 {
+	vers := make([]uint64, len(ids))
+	byShard := make(map[*shard][]int, len(s.shards))
+	for i, id := range ids {
+		sh := s.shardFor(id)
+		byShard[sh] = append(byShard[sh], i)
+	}
+	for sh, idxs := range byShard {
+		sh.mu.RLock()
+		for _, i := range idxs {
+			if ser, ok := sh.series[ids[i]]; ok {
+				vers[i] = ser.ver
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return vers
+}
+
+// Fingerprint hashes the (id, per-meter version) pairs of ids into one
+// selection-scoped version: it changes iff one of those meters mutates (or
+// the set itself changes), so execution-layer caches keyed on it survive
+// appends to every other meter. A nil ids means all registered meters.
+// The hash is order-sensitive; pass a canonically sorted set.
+func (s *Store) Fingerprint(ids []int64) uint64 {
+	if ids == nil {
+		ids = s.catalog.IDs()
+	}
+	vers := s.MeterVersions(ids)
+	h := fnv.New64a()
+	var buf [16]byte
+	for i, id := range ids {
+		binary.LittleEndian.PutUint64(buf[:8], uint64(id))
+		binary.LittleEndian.PutUint64(buf[8:], vers[i])
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// GlobalFingerprint hashes the per-shard versions into one store-wide
+// data-version stamp in O(shards): it changes whenever any mutation lands
+// anywhere. It is the cheap all-data signal for per-tick/per-request
+// stamping (SSE events, /api/stats); selection-scoped cache keys use
+// Fingerprint, which is precise per meter subset but walks the subset.
+func (s *Store) GlobalFingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, sh := range s.shards {
+		binary.LittleEndian.PutUint64(buf[:], sh.version.Load())
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
 // TimeBounds returns the min first and max last timestamp across all
 // non-empty series; ok is false when no data is stored.
 func (s *Store) TimeBounds() (first, last int64, ok bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	first, last = maxInt64, minInt64
-	for _, ser := range s.series {
-		f, l, err := ser.Bounds()
-		if err != nil {
-			continue
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, ser := range sh.series {
+			f, l, err := ser.Bounds()
+			if err != nil {
+				continue
+			}
+			if f < first {
+				first = f
+			}
+			if l > last {
+				last = l
+			}
+			ok = true
 		}
-		if f < first {
-			first = f
-		}
-		if l > last {
-			last = l
-		}
-		ok = true
+		sh.mu.RUnlock()
 	}
 	if !ok {
 		return 0, 0, false
@@ -262,16 +495,19 @@ type Stats struct {
 	Samples         int
 	CompressedBytes int
 	RawBytes        int // samples * 16 (8B ts + 8B value)
+	Shards          int
 }
 
 // Stats returns aggregate storage statistics.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st := Stats{Meters: s.catalog.Len()}
-	for _, ser := range s.series {
-		st.Samples += ser.Len()
-		st.CompressedBytes += ser.CompressedBytes()
+	st := Stats{Meters: s.catalog.Len(), Shards: len(s.shards)}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, ser := range sh.series {
+			st.Samples += ser.Len()
+			st.CompressedBytes += ser.CompressedBytes()
+		}
+		sh.mu.RUnlock()
 	}
 	st.RawBytes = st.Samples * 16
 	return st
@@ -288,10 +524,14 @@ func (s *Store) Near(p geo.Point, k int) []index.Neighbor { return s.catalog.Nea
 var snapMagic = [4]byte{'V', 'A', 'P', 'S'}
 
 // Snapshot atomically writes the full dataset to Dir/snapshot.vap and
-// truncates the WAL. It is a no-op error for in-memory stores.
+// truncates the WAL. It is a no-op error for in-memory stores. Every shard
+// is locked for the duration, so the snapshot is point-in-time consistent.
 func (s *Store) Snapshot() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
+	if s.closed.Load() {
+		return ErrClosed
+	}
 	if s.opts.Dir == "" {
 		return fmt.Errorf("store: snapshot requires a durability directory")
 	}
@@ -325,6 +565,8 @@ func (s *Store) Snapshot() error {
 		return err
 	}
 	if s.wal != nil {
+		s.walMu.Lock()
+		defer s.walMu.Unlock()
 		return s.wal.Truncate()
 	}
 	return nil
@@ -332,6 +574,7 @@ func (s *Store) Snapshot() error {
 
 // writeSnapshot serializes: magic, meter count, meters, then per-meter
 // sample runs (count + raw samples) with a trailing CRC of everything.
+// Callers hold every shard lock.
 func (s *Store) writeSnapshot(w io.Writer) error {
 	crc := crc32.NewIEEE()
 	mw := io.MultiWriter(w, crc)
@@ -359,7 +602,7 @@ func (s *Store) writeSnapshot(w io.Writer) error {
 		if _, err := mw.Write(zone); err != nil {
 			return err
 		}
-		ser := s.series[m.ID]
+		ser := s.shardFor(m.ID).series[m.ID]
 		var samples []Sample
 		if ser != nil {
 			var err error
@@ -429,26 +672,35 @@ func (s *Store) loadSnapshot(path string) error {
 			return ErrCorrupt
 		}
 		m := Meter{ID: id, Location: geo.Point{Lon: lon, Lat: lat}, Zone: ZoneType(zone)}
-		if err := s.putMeterLocked(m); err != nil {
+		if err := s.replayMeter(m); err != nil {
 			return err
 		}
 		nSamples, err := r.uint32()
 		if err != nil {
 			return ErrCorrupt
 		}
-		ser := s.series[id]
+		sh := s.shardFor(id)
+		sh.mu.Lock()
+		var loadErr error
 		for j := uint32(0); j < nSamples; j++ {
 			ts, err := r.int64()
 			if err != nil {
-				return ErrCorrupt
+				loadErr = ErrCorrupt
+				break
 			}
 			v, err := r.float64()
 			if err != nil {
-				return ErrCorrupt
+				loadErr = ErrCorrupt
+				break
 			}
-			if err := ser.Append(Sample{TS: ts, Value: v}); err != nil {
-				return err
+			if err := s.appendShardLocked(sh, id, Sample{TS: ts, Value: v}); err != nil {
+				loadErr = err
+				break
 			}
+		}
+		sh.mu.Unlock()
+		if loadErr != nil {
+			return loadErr
 		}
 	}
 	return nil

@@ -492,3 +492,267 @@ func TestStoreVersionBumpsOnMutation(t *testing.T) {
 		t.Fatalf("failed mutation bumped version: %d -> %d", v3, st.Version())
 	}
 }
+
+func TestStoreMeterVersionsAndFingerprint(t *testing.T) {
+	st, _ := Open(Options{Shards: 4})
+	defer st.Close()
+	_ = st.PutMeter(testMeter(1))
+	_ = st.PutMeter(testMeter(2))
+	v1, err := st.MeterVersion(1)
+	if err != nil || v1 != 1 {
+		t.Fatalf("fresh meter version = %d (%v), want 1", v1, err)
+	}
+	if _, err := st.MeterVersion(99); err != ErrUnknownMeter {
+		t.Fatalf("unknown meter version err = %v", err)
+	}
+	fpBoth := st.Fingerprint([]int64{1, 2})
+	fpOne := st.Fingerprint([]int64{2})
+	fpAll := st.Fingerprint(nil)
+	if fpAll != fpBoth {
+		t.Fatalf("nil ids should fingerprint all meters: %d != %d", fpAll, fpBoth)
+	}
+
+	// Appending to meter 1 must change fingerprints containing it and
+	// leave disjoint fingerprints untouched.
+	if err := st.Append(1, Sample{TS: 10, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := st.MeterVersion(1); got != v1+1 {
+		t.Fatalf("append did not bump per-meter version: %d", got)
+	}
+	if got, _ := st.MeterVersion(2); got != 1 {
+		t.Fatalf("append to meter 1 bumped meter 2: %d", got)
+	}
+	if st.Fingerprint([]int64{1, 2}) == fpBoth {
+		t.Fatal("fingerprint containing mutated meter did not change")
+	}
+	if st.Fingerprint([]int64{2}) != fpOne {
+		t.Fatal("fingerprint disjoint from mutated meter changed")
+	}
+
+	// Replacing meter metadata is a mutation of that meter too.
+	moved := testMeter(2)
+	moved.Location.Lon += 0.5
+	if err := st.PutMeter(moved); err != nil {
+		t.Fatal(err)
+	}
+	if st.Fingerprint([]int64{2}) == fpOne {
+		t.Fatal("metadata replacement did not change the meter's fingerprint")
+	}
+}
+
+func TestStoreShardVersionsBumpIndependently(t *testing.T) {
+	st, _ := Open(Options{Shards: 8})
+	defer st.Close()
+	// Register enough meters that at least two shards are populated.
+	for id := int64(1); id <= 32; id++ {
+		_ = st.PutMeter(testMeter(id))
+	}
+	before := st.ShardVersions()
+	populated := 0
+	for _, v := range before {
+		if v > 0 {
+			populated++
+		}
+	}
+	if populated < 2 {
+		t.Fatalf("32 meters landed on %d shards; hash is clustering", populated)
+	}
+	_ = st.Append(1, Sample{TS: 1, Value: 1})
+	after := st.ShardVersions()
+	changed := 0
+	for i := range after {
+		if after[i] != before[i] {
+			changed++
+		}
+	}
+	if changed != 1 {
+		t.Fatalf("one append changed %d shard versions, want 1", changed)
+	}
+}
+
+func TestStoreCloseReturnsErrClosed(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = st.PutMeter(testMeter(1))
+	if err := st.Append(1, Sample{TS: 1, Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Every mutation after close fails cleanly instead of writing to a
+	// closed WAL.
+	if err := st.Close(); err != ErrClosed {
+		t.Errorf("second Close err = %v, want ErrClosed", err)
+	}
+	if err := st.Append(1, Sample{TS: 2, Value: 3}); err != ErrClosed {
+		t.Errorf("Append after close err = %v, want ErrClosed", err)
+	}
+	if _, err := st.AppendBatch(1, []Sample{{TS: 3, Value: 4}}); err != ErrClosed {
+		t.Errorf("AppendBatch after close err = %v, want ErrClosed", err)
+	}
+	if err := st.PutMeter(testMeter(2)); err != ErrClosed {
+		t.Errorf("PutMeter after close err = %v, want ErrClosed", err)
+	}
+	if err := st.Snapshot(); err != ErrClosed {
+		t.Errorf("Snapshot after close err = %v, want ErrClosed", err)
+	}
+	// Reads keep serving the in-memory data.
+	if got, err := st.Range(1, 0, 10); err != nil || len(got) != 1 {
+		t.Errorf("read after close: %v %v", got, err)
+	}
+}
+
+func TestStoreShardedSnapshotWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spread meters across shards with uneven series lengths.
+	const meters = 20
+	for id := int64(1); id <= meters; id++ {
+		if err := st.PutMeter(testMeter(id)); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < int(10*id); i++ {
+			if err := st.Append(id, Sample{TS: int64(i) * 60, Value: float64(i) + float64(id)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := st.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-snapshot appends land in the WAL and must replay on top.
+	for id := int64(1); id <= meters; id += 3 {
+		if err := st.Append(id, Sample{TS: 1 << 30, Value: 42}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantVers := make(map[int64]uint64, meters)
+	wantLens := make(map[int64]int, meters)
+	for id := int64(1); id <= meters; id++ {
+		v, err := st.MeterVersion(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantVers[id] = v
+		wantLens[id], _ = st.SeriesLen(id)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with a DIFFERENT shard count: durability must be independent
+	// of the sharding layout.
+	st2, err := Open(Options{Dir: dir, Shards: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Stats().Meters != meters {
+		t.Fatalf("meters after reopen = %d, want %d", st2.Stats().Meters, meters)
+	}
+	for id := int64(1); id <= meters; id++ {
+		n, err := st2.SeriesLen(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != wantLens[id] {
+			t.Errorf("meter %d: %d samples after reopen, want %d", id, n, wantLens[id])
+		}
+		v, err := st2.MeterVersion(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != wantVers[id] {
+			t.Errorf("meter %d: version %d after reopen, want %d", id, v, wantVers[id])
+		}
+		got, err := st2.Range(id, 0, 1<<40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != wantLens[id] {
+			t.Errorf("meter %d: range returned %d samples, want %d", id, len(got), wantLens[id])
+		}
+		if id%3 == 1 {
+			if last := got[len(got)-1]; last.TS != 1<<30 || last.Value != 42 {
+				t.Errorf("meter %d: WAL tail sample not replayed: %+v", id, last)
+			}
+		}
+	}
+}
+
+func TestSeriesIterStreamsWindow(t *testing.T) {
+	s := NewSeries(1)
+	n := chunkTargetSamples*2 + 100
+	for i := 0; i < n; i++ {
+		if err := s.Append(Sample{TS: int64(i) * 10, Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A window crossing the chunk/head boundary.
+	from := int64((chunkTargetSamples*2 - 5) * 10)
+	to := int64((chunkTargetSamples*2 + 5) * 10)
+	it := s.Iter(from, to)
+	var got []Sample
+	for it.Next() {
+		got = append(got, it.Sample())
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if len(got) != 10 {
+		t.Fatalf("iter yielded %d samples, want 10", len(got))
+	}
+	for i, smp := range got {
+		want := int64(chunkTargetSamples*2-5+i) * 10
+		if smp.TS != want {
+			t.Fatalf("got[%d].TS = %d, want %d", i, smp.TS, want)
+		}
+	}
+	// Iterator agrees with Range on the full series.
+	all, err := s.Range(minInt64, maxInt64)
+	if err != nil || len(all) != n {
+		t.Fatalf("range all = %d (%v), want %d", len(all), err, n)
+	}
+	// Empty and inverted windows terminate immediately.
+	if it := s.Iter(50, 50); it.Next() {
+		t.Error("empty window iterator yielded a sample")
+	}
+	if it := s.Iter(100, 50); it.Next() {
+		t.Error("inverted window iterator yielded a sample")
+	}
+}
+
+func TestSeriesIterSnapshotUnaffectedByAppend(t *testing.T) {
+	st, _ := Open(Options{})
+	defer st.Close()
+	_ = st.PutMeter(testMeter(1))
+	for i := 0; i < 100; i++ {
+		_ = st.Append(1, Sample{TS: int64(i), Value: float64(i)})
+	}
+	it, err := st.Iter(1, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Appends after iterator construction must not surface mid-iteration.
+	for i := 100; i < 200; i++ {
+		_ = st.Append(1, Sample{TS: int64(i), Value: float64(i)})
+	}
+	count := 0
+	for it.Next() {
+		count++
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if count != 100 {
+		t.Fatalf("iterator saw %d samples, want the 100 snapshotted", count)
+	}
+}

@@ -18,6 +18,16 @@ import (
 	"vap/internal/store"
 )
 
+// DataVersion is the two-level data version stamped on events: the
+// store-wide mutation counter plus the O(shards) global fingerprint over
+// per-shard versions. Either field changing means something mutated; the
+// per-selection staleness check is the store's Fingerprint over the
+// selection's meters, which the exec-layer cache keys embed.
+type DataVersion struct {
+	Global      uint64 `json:"global"`
+	Fingerprint uint64 `json:"fingerprint"`
+}
+
 // Event is one batch of readings that became visible at Seq.
 type Event struct {
 	Seq      int64          `json:"seq"`
@@ -28,8 +38,8 @@ type Event struct {
 	// DataVersion is the store's data version after this batch landed.
 	// Subscribers holding results keyed to an older version (the exec
 	// layer's cache keys) know those are stale the moment they see a
-	// larger value here.
-	DataVersion uint64 `json:"data_version,omitempty"`
+	// larger Global here.
+	DataVersion DataVersion `json:"data_version,omitzero"`
 }
 
 // DensitySummary is the scalar state pushed to subscribers.
@@ -278,9 +288,9 @@ func (r *Replayer) Run(ctx context.Context, feeds []Feed, from, to int64) (int, 
 			if r.Tracker != nil {
 				snap, sum = r.Tracker.Snapshot()
 			}
-			var ver uint64
+			var ver DataVersion
 			if r.St != nil {
-				ver = r.St.Version()
+				ver = DataVersion{Global: r.St.Version(), Fingerprint: r.St.GlobalFingerprint()}
 			}
 			r.Hub.Publish(Event{Seq: seq, DataTime: lastTS, Count: batch, Snapshot: snap, Summary: sum, DataVersion: ver})
 		}

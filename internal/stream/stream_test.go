@@ -221,3 +221,53 @@ func TestReplayerCancellation(t *testing.T) {
 		t.Fatal("cancelled replayer should return an error")
 	}
 }
+
+// TestReplayerStampsDataVersion asserts streamed events carry the
+// two-level {global, fingerprint} stamp, advancing tick over tick.
+func TestReplayerStampsDataVersion(t *testing.T) {
+	st, err := store.Open(store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	feeds := makeFeeds(2, 8)
+	for _, f := range feeds {
+		if err := st.PutMeter(store.Meter{ID: f.MeterID, Location: f.Loc, Zone: store.ZoneResidential}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hub := NewHub()
+	ch, cancel := hub.Subscribe()
+	defer cancel()
+	var versions []DataVersion
+	drained := make(chan struct{})
+	go func() {
+		for e := range ch {
+			versions = append(versions, e.DataVersion)
+		}
+		close(drained)
+	}()
+	rp := &Replayer{St: st, Hub: hub, Step: 3600}
+	if _, err := rp.Run(context.Background(), feeds, 0, 8*3600); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	<-drained
+	if len(versions) == 0 {
+		t.Fatal("no events")
+	}
+	for i, v := range versions {
+		if v.Global == 0 || v.Fingerprint == 0 {
+			t.Fatalf("event %d: zero version stamp %+v", i, v)
+		}
+		if i > 0 {
+			prev := versions[i-1]
+			if v.Global <= prev.Global {
+				t.Fatalf("global not advancing: %d -> %d", prev.Global, v.Global)
+			}
+			if v.Fingerprint == prev.Fingerprint {
+				t.Fatalf("fingerprint unchanged across ingest tick %d", i)
+			}
+		}
+	}
+}
