@@ -266,6 +266,38 @@ func BenchmarkShiftPatternsCached(b *testing.B) {
 	}
 }
 
+// BenchmarkVQLEndToEnd measures the full VQL path — parse, compile,
+// plan-lower, fan-out execution over the pushdown iterators — for a
+// representative bucketed GROUP BY with ordering, both cold (cache
+// invalidated per iteration, the analytic cost) and cached (the
+// interactive steady state: parse + plan hash + memo hit).
+func BenchmarkVQLEndToEnd(b *testing.B) {
+	setupBench(b)
+	ctx := context.Background()
+	const q = `SELECT bucket(daily) AS day, mean(value) AS avg_kwh, count(*)
+		FROM meters WHERE zone = 'residential'
+		GROUP BY bucket(daily) ORDER BY avg_kwh DESC LIMIT 14`
+	b.Run("Cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchData.an.Exec().Invalidate()
+			if _, err := benchData.an.VQL(ctx, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Cached", func(b *testing.B) {
+		if _, err := benchData.an.VQL(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := benchData.an.VQL(ctx, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkKMeans is E5 (S1 step 4).
 func BenchmarkKMeans(b *testing.B) {
 	setupBench(b)

@@ -21,6 +21,7 @@ import (
 	"vap/internal/reduce"
 	"vap/internal/store"
 	"vap/internal/stream"
+	"vap/internal/vql"
 )
 
 // Server wires the analyzer to HTTP handlers. All expensive results
@@ -51,6 +52,7 @@ func (s *Server) Routes() *http.ServeMux {
 	mux.HandleFunc("/api/flow", s.handleFlow)
 	mux.HandleFunc("/api/stats", s.handleStats)
 	mux.HandleFunc("/api/exec", s.handleExec)
+	mux.HandleFunc("/api/query", s.handleQuery)
 	mux.HandleFunc("/api/stream", s.handleStream)
 	mux.HandleFunc("/view/map.svg", s.handleMapSVG)
 	mux.HandleFunc("/view/series.svg", s.handleSeriesSVG)
@@ -99,7 +101,9 @@ func qStr(r *http.Request, key, def string) string {
 }
 
 // parseSelection reads bbox=minLon,minLat,maxLon,maxLat, zone=..., ids=1,2,3
-// and from/to (Unix seconds).
+// and from/to (Unix seconds or a date/time string — the same literals the
+// VQL time predicates accept). Malformed values are a 400, never a silent
+// fall-back to the default selection.
 func parseSelection(r *http.Request) (query.Selection, error) {
 	var sel query.Selection
 	if bbox := r.URL.Query().Get("bbox"); bbox != "" {
@@ -114,6 +118,12 @@ func parseSelection(r *http.Request) (query.Selection, error) {
 				return sel, fmt.Errorf("api: bad bbox component %q", p)
 			}
 			vals[i] = f
+		}
+		// Shared with the VQL bbox predicate: finite, in lon/lat range,
+		// min <= max (so a NaN or swapped-corner box cannot silently
+		// select nothing).
+		if err := vql.ValidBBox(vals[0], vals[1], vals[2], vals[3]); err != nil {
+			return sel, fmt.Errorf("api: bad bbox: %w", err)
 		}
 		box := geo.NewBBox(
 			geo.Point{Lon: vals[0], Lat: vals[1]},
@@ -132,9 +142,38 @@ func parseSelection(r *http.Request) (query.Selection, error) {
 			sel.MeterIDs = append(sel.MeterIDs, id)
 		}
 	}
-	sel.From = qInt64(r, "from", 0)
-	sel.To = qInt64(r, "to", 0)
+	var err error
+	if sel.From, err = qTime(r, "from"); err != nil {
+		return sel, err
+	}
+	if sel.To, err = qTime(r, "to"); err != nil {
+		return sel, err
+	}
+	if sel.From != 0 && sel.To != 0 && sel.To <= sel.From {
+		return sel, fmt.Errorf("api: empty time window [%d, %d)", sel.From, sel.To)
+	}
 	return sel, nil
+}
+
+// qTime parses a time parameter through the shared VQL time-literal
+// validator (Unix seconds or a date/time string). Absent means 0
+// (unconstrained); malformed is an error. An explicit bound of exactly
+// Unix epoch 0 is rejected rather than silently collapsing into the
+// query.Selection 0-as-unset sentinel (and thereby dropping the
+// constraint).
+func qTime(r *http.Request, key string) (int64, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return 0, nil
+	}
+	ts, err := vql.ParseTime(v)
+	if err != nil {
+		return 0, fmt.Errorf("api: bad %s parameter: %w", key, err)
+	}
+	if ts == 0 {
+		return 0, fmt.Errorf("api: %s at Unix epoch 0 is not representable; use 1, a negative bound, or omit the parameter", key)
+	}
+	return ts, nil
 }
 
 // --- handlers ----------------------------------------------------------------

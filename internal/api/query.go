@@ -1,0 +1,97 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"vap/internal/vql"
+)
+
+// maxQueryBytes bounds a /api/query request body.
+const maxQueryBytes = 1 << 20
+
+// queryRequest is the JSON body of POST /api/query. A text/plain body is
+// also accepted and treated as the raw statement.
+type queryRequest struct {
+	Query string `json:"query"`
+}
+
+// handleQuery executes one VQL statement: POST /api/query with
+// {"query": "SELECT ..."} (or the raw statement as text/plain). Responses
+// carry the rows, the EXPLAIN rendering of the executed plan, and the
+// data-version stamps (store-wide plus the selection-scoped fingerprint
+// the result was computed against). Parse and type errors return 400 with
+// the 1-based line/column of the offending token.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("api: POST a VQL statement to this endpoint"))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBytes+1))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("api: reading body: %w", err))
+		return
+	}
+	if len(body) > maxQueryBytes {
+		writeErr(w, http.StatusRequestEntityTooLarge, fmt.Errorf("api: query exceeds %d bytes", maxQueryBytes))
+		return
+	}
+	src := string(body)
+	// Decode a JSON envelope when the Content-Type says so, or when the
+	// body plainly is one (curl -d sends x-www-form-urlencoded by default,
+	// and no VQL statement starts with '{').
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/json") || strings.HasPrefix(strings.TrimSpace(src), "{") {
+		var req queryRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("api: bad JSON body: %w", err))
+			return
+		}
+		src = req.Query
+	}
+	if strings.TrimSpace(src) == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("api: empty query"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), 120*time.Second)
+	defer cancel()
+	out, err := s.an.VQL(ctx, src)
+	if err != nil {
+		var ve *vql.Error
+		switch {
+		case errors.As(err, &ve):
+			// Parse/type errors are the client's fault; everything else
+			// (timeouts, store corruption) is the server's.
+			writeJSON(w, http.StatusBadRequest, map[string]any{
+				"error": ve.Error(),
+				"line":  ve.Pos.Line,
+				"col":   ve.Pos.Col,
+			})
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			writeErr(w, http.StatusGatewayTimeout, err)
+		default:
+			writeErr(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"columns":               out.Columns,
+		"rows":                  out.Rows,
+		"row_count":             len(out.Rows),
+		"window":                out.Window,
+		"meters":                out.Meters,
+		"samples":               out.Samples,
+		"plan":                  out.Plan,
+		"explain":               out.Explain,
+		"plan_hash":             out.PlanHash,
+		"selection_fingerprint": out.SelectionFingerprint,
+		"data_version":          s.dataVersion(),
+	})
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"context"
+
+	"vap/internal/exec"
+	"vap/internal/vql"
+)
+
+// VQLOutput is one executed (or explained) VQL statement plus the version
+// metadata clients need to reason about cache freshness: the canonical
+// plan hash and the selection-scoped data fingerprint the result was
+// computed against. SelectionFingerprint comes from the executor's
+// observed per-meter versions (not a separate fingerprint read racing
+// with concurrent appends), so two responses carrying the same value
+// always carry identical rows.
+type VQLOutput struct {
+	*vql.Result
+	PlanHash             uint64 `json:"plan_hash"`
+	SelectionFingerprint uint64 `json:"selection_fingerprint"`
+	// Explain marks an EXPLAIN statement: Rows hold the plan lines, and
+	// nothing executed. Callers must branch on this flag, not on the
+	// column shape (a user can alias a real column "plan").
+	Explain bool `json:"explain,omitempty"`
+}
+
+// VQL parses, compiles, and executes one VQL statement. Results are
+// memoized in the analyzer's versioned cache keyed by (canonical plan
+// hash, selection fingerprint, resolved time window): two textually
+// different but logically identical queries share one entry, repeated
+// queries over an unchanged selection hit the cache even while other
+// meters stream in, and an append to any selected meter — or an extent
+// move under an unbounded window — invalidates precisely. EXPLAIN
+// statements resolve the plan without executing or caching.
+func (a *Analyzer) VQL(ctx context.Context, src string) (*VQLOutput, error) {
+	q, err := vql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	p, err := vql.Compile(q)
+	if err != nil {
+		return nil, err
+	}
+	if p.Explain {
+		text := vql.ExplainString(p, a.eng)
+		res := &vql.Result{Columns: []string{"plan"}, Plan: text}
+		for _, line := range splitLines(text) {
+			res.Rows = append(res.Rows, []any{line})
+		}
+		return &VQLOutput{Result: res, PlanHash: p.Fingerprint(), Explain: true}, nil
+	}
+	// Resolve the meter set once: it feeds the cache key's selection
+	// fingerprint and, via ExecuteResolved, the scan itself.
+	ids, err := vql.ResolveScanMeters(a.eng, p)
+	if err != nil {
+		return nil, err
+	}
+	from, to, windowOK := p.ResolveWindow(a.Store())
+	if len(ids) == 0 || !windowOK {
+		// Empty selection or unresolvable window: the result is a cheap
+		// constant (zero rows, or one null row for ungrouped aggregates);
+		// skip the cache rather than key on a fingerprint that does not
+		// cover the (empty) meter set.
+		res, execErr := vql.ExecuteResolved(ctx, a.eng, p, ids, from, to, windowOK)
+		if execErr != nil {
+			return nil, execErr
+		}
+		return &VQLOutput{Result: res, PlanHash: p.Fingerprint()}, nil
+	}
+	fp := a.Store().Fingerprint(ids)
+	key := exec.KeyOf(fp, "vql", p.Fingerprint(), from, to)
+	v, err := a.ex.Do(ctx, key, func(ctx context.Context) (any, error) {
+		return vql.ExecuteResolved(ctx, a.eng, p, ids, from, to, true)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := v.(*vql.Result)
+	return &VQLOutput{Result: res, PlanHash: p.Fingerprint(), SelectionFingerprint: res.Fingerprint}, nil
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"vap/internal/geo"
+	"vap/internal/store"
+)
+
+func newVQLAnalyzer(t *testing.T) (*Analyzer, *store.Store) {
+	t.Helper()
+	st, err := store.Open(store.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	for id := int64(1); id <= 3; id++ {
+		m := store.Meter{ID: id, Location: geo.Point{Lon: 10 + float64(id)*0.01, Lat: 55}, Zone: store.ZoneResidential}
+		if err := st.PutMeter(m); err != nil {
+			t.Fatal(err)
+		}
+		for h := 0; h < 24; h++ {
+			if err := st.Append(id, store.Sample{TS: 1496275200 + int64(h)*3600, Value: float64(id)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return NewAnalyzer(st), st
+}
+
+func TestVQLExplainDoesNotExecuteOrCache(t *testing.T) {
+	an, _ := newVQLAnalyzer(t)
+	out, err := an.VQL(context.Background(), "EXPLAIN SELECT meter, sum(value) FROM meters GROUP BY meter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Columns) != 1 || out.Columns[0] != "plan" {
+		t.Fatalf("explain columns = %v", out.Columns)
+	}
+	if len(out.Rows) == 0 || !strings.Contains(out.Plan, "GroupAggregate") {
+		t.Fatalf("explain rows/plan missing: %v / %q", out.Rows, out.Plan)
+	}
+	if stats := an.ExecStats(); stats.Computes != 0 || an.Exec().Len() != 0 {
+		t.Fatalf("EXPLAIN touched the cache: %+v", stats)
+	}
+}
+
+func TestVQLEmptySelectionSkipsCache(t *testing.T) {
+	an, _ := newVQLAnalyzer(t)
+	out, err := an.VQL(context.Background(), "SELECT count(*) FROM meters WHERE zone = 'industrial'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 1 || out.Rows[0][0].(int64) != 0 {
+		t.Fatalf("empty selection rows = %v, want one zero-count row", out.Rows)
+	}
+	if an.Exec().Len() != 0 {
+		t.Fatal("empty-selection result was cached")
+	}
+	// A window entirely outside the data skips the cache the same way.
+	out, err = an.VQL(context.Background(), "SELECT meter, count(*) FROM meters WHERE time < 100 GROUP BY meter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 0 || an.Exec().Len() != 0 {
+		t.Fatalf("out-of-extent window: rows=%v cached=%d", out.Rows, an.Exec().Len())
+	}
+}
+
+func TestVQLExplainFlagNotFooledByAlias(t *testing.T) {
+	an, _ := newVQLAnalyzer(t)
+	out, err := an.VQL(context.Background(), "SELECT count(*) AS plan FROM meters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Explain {
+		t.Fatal("aliasing a column 'plan' must not mark the result as EXPLAIN")
+	}
+	if len(out.Rows) != 1 || out.Rows[0][0].(int64) != 72 {
+		t.Fatalf("rows = %v, want the real count", out.Rows)
+	}
+	exp, err := an.VQL(context.Background(), "EXPLAIN SELECT count(*) FROM meters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exp.Explain {
+		t.Fatal("EXPLAIN output not flagged")
+	}
+}
+
+func TestVQLParseErrorPropagates(t *testing.T) {
+	an, _ := newVQLAnalyzer(t)
+	if _, err := an.VQL(context.Background(), "SELECT nope FROM meters"); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestVQLFingerprintMatchesObservedData(t *testing.T) {
+	an, st := newVQLAnalyzer(t)
+	const q = "SELECT sum(value) FROM meters WHERE meter IN (1, 2)"
+	a, err := an.VQL(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := an.VQL(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SelectionFingerprint != b.SelectionFingerprint {
+		t.Fatal("fingerprint moved without mutation")
+	}
+	if err := st.Append(2, store.Sample{TS: 1496275200 + 24*3600, Value: 7}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := an.VQL(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SelectionFingerprint == a.SelectionFingerprint {
+		t.Fatal("fingerprint unchanged after appending to a selected meter")
+	}
+	if c.Rows[0][0].(float64) != a.Rows[0][0].(float64)+7 {
+		t.Fatalf("sum = %v, want %v", c.Rows[0][0], a.Rows[0][0].(float64)+7)
+	}
+}

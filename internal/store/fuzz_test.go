@@ -1,0 +1,135 @@
+package store
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzGorillaRoundTrip drives the Gorilla encoder/decoder with adversarial
+// sample streams and payload bytes. The input decodes as a stream of
+// (delta int16, value-bits uint64) records:
+//
+//   - deltas may be zero or negative, exercising the duplicate and
+//     out-of-order append paths (which must reject with ErrOutOfOrder and
+//     leave the series unchanged);
+//   - value bits are arbitrary, including NaN payloads, ±Inf, and
+//     subnormals, which must round-trip bit-exactly (semantic float
+//     comparison would hide NaN-payload corruption);
+//   - every prefix-code boundary of the delta-of-delta coding is reachable
+//     via consecutive deltas.
+//
+// After the accepted appends, the payload must decode to exactly the
+// accepted samples; the raw fuzz bytes are also decoded directly (as if a
+// chunk's payload were corrupt on disk), which must error or truncate but
+// never panic, over-allocate unboundedly, or loop.
+func FuzzGorillaRoundTrip(f *testing.F) {
+	f.Add(seedStream([]int64{3600, 3600, 3600}, []float64{1.5, 1.5, 2.25}))
+	// NaN (two payloads), +Inf, -Inf, negative zero, subnormal.
+	f.Add(seedBits([]int64{1, 1, 1, 1, 1, 1},
+		[]uint64{
+			math.Float64bits(math.NaN()),
+			0x7ff8000000000001, // NaN with a different payload
+			math.Float64bits(math.Inf(1)),
+			math.Float64bits(math.Inf(-1)),
+			0x8000000000000000, // -0.0
+			1,                  // smallest subnormal
+		}))
+	// Out-of-order and duplicate timestamps interleaved with valid ones.
+	f.Add(seedStream([]int64{10, 0, -5, 10, 1}, []float64{1, 2, 3, 4, 5}))
+	// Delta prefix-code boundaries: the dod of consecutive deltas walks
+	// the 7/9/12-bit windows and the raw 64-bit fallback (dod 30000-1).
+	f.Add(seedStream([]int64{1, 1, 65, 64, 257, 256, 2049, 2048, 30000}, []float64{0, 0, 0, 0, 0, 0, 0, 0, 0}))
+	// Value XOR window shrink/grow transitions.
+	f.Add(seedBits([]int64{60, 60, 60, 60},
+		[]uint64{0xffffffffffffffff, 0xff00000000000000, 0x00000000000000ff, 0x0f0f0f0f0f0f0f0f}))
+	// Regression: a lone first sample and the two-sample delta path.
+	f.Add(seedStream([]int64{42}, []float64{math.Pi}))
+	// Raw garbage for the decode-arbitrary-bytes leg.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		enc := NewEncoder()
+		var want []Sample
+		var last int64
+		for off := 0; off+10 <= len(data); off += 10 {
+			delta := int64(int16(binary.LittleEndian.Uint16(data[off:])))
+			bits := binary.LittleEndian.Uint64(data[off+2:])
+			ts := last + delta
+			s := Sample{TS: ts, Value: math.Float64frombits(bits)}
+			err := enc.Append(s)
+			if enc.Len() > 0 && len(want) > 0 && ts <= last {
+				if err != ErrOutOfOrder {
+					t.Fatalf("append ts=%d after %d: err=%v, want ErrOutOfOrder", ts, last, err)
+				}
+				continue // series must be unchanged; keep the old last
+			}
+			if err != nil {
+				t.Fatalf("append %+v: %v", s, err)
+			}
+			want = append(want, s)
+			last = ts
+		}
+		if enc.Len() != len(want) {
+			t.Fatalf("encoder holds %d samples, accepted %d", enc.Len(), len(want))
+		}
+		payload := enc.Bytes()
+		got, err := Decode(payload, len(want))
+		if err != nil {
+			t.Fatalf("decode %d samples: %v", len(want), err)
+		}
+		for i := range want {
+			if got[i].TS != want[i].TS {
+				t.Fatalf("sample %d ts = %d, want %d", i, got[i].TS, want[i].TS)
+			}
+			if math.Float64bits(got[i].Value) != math.Float64bits(want[i].Value) {
+				t.Fatalf("sample %d value bits = %#x, want %#x",
+					i, math.Float64bits(got[i].Value), math.Float64bits(want[i].Value))
+			}
+		}
+
+		// Count mismatches: the stored count is authoritative (chunk
+		// metadata is CRC-protected), and the final byte's <8 padding bits
+		// can legally decode as a few phantom 2-bit samples — but a count
+		// inflated beyond what padding can hold must run dry with an
+		// error, and a deflated count must truncate cleanly.
+		if len(want) > 0 {
+			if _, err := Decode(payload, len(want)+8); err == nil {
+				t.Fatal("decode with count inflated past the padding succeeded")
+			}
+			if short, err := Decode(payload, len(want)-1); err == nil && len(short) != len(want)-1 {
+				t.Fatalf("decode with deflated count returned %d samples", len(short))
+			}
+		}
+
+		// Arbitrary bytes as a payload (corrupt chunk on disk): any error
+		// is fine, panics and runaway allocation are not.
+		for _, n := range []int{0, 1, len(data), len(data) * 8, 1 << 30} {
+			if out, err := Decode(data, n); err == nil && len(out) != n {
+				t.Fatalf("raw decode n=%d returned %d samples without error", n, len(out))
+			}
+		}
+	})
+}
+
+// seedStream packs (delta, value) records into the fuzz wire format
+// (timestamps accumulate from 0; deltas are clipped to int16 like the
+// fuzz decoder's view of arbitrary bytes).
+func seedStream(deltas []int64, values []float64) []byte {
+	bits := make([]uint64, len(values))
+	for i, v := range values {
+		bits[i] = math.Float64bits(v)
+	}
+	return seedBits(deltas, bits)
+}
+
+func seedBits(deltas []int64, values []uint64) []byte {
+	var out []byte
+	for i := range deltas {
+		var rec [10]byte
+		binary.LittleEndian.PutUint16(rec[0:], uint16(int16(deltas[i])))
+		binary.LittleEndian.PutUint64(rec[2:], values[i])
+		out = append(out, rec[:]...)
+	}
+	return out
+}

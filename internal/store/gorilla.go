@@ -143,7 +143,17 @@ func (e *Encoder) Bytes() []byte {
 
 // Decode decompresses a payload produced by Encoder containing n samples.
 func Decode(data []byte, n int) ([]Sample, error) {
-	out := make([]Sample, 0, n)
+	if n < 0 {
+		return nil, ErrCorrupt
+	}
+	// Pre-size from n, but cap the up-front allocation: n may come from
+	// untrusted chunk metadata, and a corrupt giant count must fail with
+	// ErrCorrupt after decoding runs dry, not OOM on make().
+	capHint := n
+	if max := len(data)*4 + 2; capHint > max { // >= 2 bits per sample after the header
+		capHint = max
+	}
+	out := make([]Sample, 0, capHint)
 	it := NewIterator(data, n)
 	for it.Next() {
 		out = append(out, it.Sample())
@@ -294,6 +304,12 @@ func (it *Iterator) readValue() error {
 		}
 		it.leading = uint8(lead)
 		it.sigbits = uint8(sigm1) + 1
+		if uint(it.leading)+uint(it.sigbits) > 64 {
+			// The encoder always satisfies lead+sig+trail == 64; a wider
+			// window is malformed input and the unsigned shift below would
+			// underflow into silent value corruption.
+			return ErrCorrupt
+		}
 	} else if it.leading == 0xff {
 		return ErrCorrupt // window reuse before any window was defined
 	}

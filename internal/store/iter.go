@@ -24,13 +24,14 @@ type SeriesIter struct {
 	smp      Sample
 	err      error
 	done     bool
+	ver      uint64 // per-meter version at snapshot time
 }
 
 // Iter returns an iterator over the window [from, to). Callers must hold
 // the series' external synchronization (the store's shard lock) during the
 // call itself; the returned iterator needs no further locking.
 func (s *Series) Iter(from, to int64) *SeriesIter {
-	it := &SeriesIter{from: from, to: to}
+	it := &SeriesIter{from: from, to: to, ver: s.ver}
 	if to <= from || s.total == 0 {
 		it.done = true
 		return it
@@ -93,3 +94,11 @@ func (it *SeriesIter) Sample() Sample { return it.smp }
 
 // Err returns the first decode error encountered, if any.
 func (it *SeriesIter) Err() error { return it.err }
+
+// Version returns the meter's per-meter version at the moment the
+// iterator snapshotted the series. Combining the observed versions of
+// every meter a query scanned (FingerprintPairs) yields the data
+// fingerprint of exactly the state the results were computed from — the
+// consistent stamp for concurrent readers, where re-reading the store's
+// fingerprint after the scan could observe interleaved appends.
+func (it *SeriesIter) Version() uint64 { return it.ver }

@@ -431,20 +431,36 @@ func (s *Store) MeterVersions(ids []int64) []uint64 {
 // selection-scoped version: it changes iff one of those meters mutates (or
 // the set itself changes), so execution-layer caches keyed on it survive
 // appends to every other meter. A nil ids means all registered meters.
-// The hash is order-sensitive; pass a canonically sorted set.
+// Each pair is hashed independently and the pair hashes combine
+// commutatively, so the fingerprint is insensitive to the order of ids —
+// two selections resolving to the same meter set fingerprint identically
+// regardless of how the caller enumerated it.
 func (s *Store) Fingerprint(ids []int64) uint64 {
 	if ids == nil {
 		ids = s.catalog.IDs()
 	}
-	vers := s.MeterVersions(ids)
-	h := fnv.New64a()
+	return FingerprintPairs(ids, s.MeterVersions(ids))
+}
+
+// FingerprintPairs combines (id, version) pairs into the selection-scoped
+// fingerprint Store.Fingerprint produces. Each pair is hashed
+// independently and the hashes combine commutatively, so enumeration
+// order does not matter. Exported so executors that already hold
+// per-meter versions observed at scan time (SeriesIter.Version) can stamp
+// results with the fingerprint of exactly the data they read.
+func FingerprintPairs(ids []int64, vers []uint64) uint64 {
+	var acc uint64
 	var buf [16]byte
 	for i, id := range ids {
 		binary.LittleEndian.PutUint64(buf[:8], uint64(id))
 		binary.LittleEndian.PutUint64(buf[8:], vers[i])
+		h := fnv.New64a()
 		h.Write(buf[:])
+		acc += h.Sum64()
 	}
-	return h.Sum64()
+	// Fold in the set size so the empty set and pathological cancellations
+	// stay distinguishable from "no data".
+	return acc ^ (uint64(len(ids)) * 0x9e3779b97f4a7c15)
 }
 
 // GlobalFingerprint hashes the per-shard versions into one store-wide

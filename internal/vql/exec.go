@@ -1,0 +1,396 @@
+// Package vql implements VQL, VAP's typed query language for meter
+// analytics: a lexer, recursive-descent parser, typed logical plan, and a
+// planner that compiles
+//
+//	SELECT <agg exprs | group keys> FROM meters
+//	  [WHERE <bbox/zone/meter/time predicates>]
+//	  [GROUP BY bucket(<granularity>) | meter | zone, ...]
+//	  [ORDER BY ...] [LIMIT n]
+//
+// down to the data layer's existing primitives. WHERE predicates lower
+// into query.Selection (so selection-scoped version fingerprints keep VQL
+// results cacheable), aggregates stream through the store's pushdown
+// iterators without materializing full series, and multi-meter plans fan
+// out across workers with context cancellation.
+package vql
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sort"
+
+	"vap/internal/exec"
+	"vap/internal/geo"
+	"vap/internal/query"
+	"vap/internal/store"
+)
+
+func geoBox(pr BBoxPred) geo.BBox {
+	return geo.NewBBox(
+		geo.Point{Lon: pr.MinLon, Lat: pr.MinLat},
+		geo.Point{Lon: pr.MaxLon, Lat: pr.MaxLat})
+}
+
+// Result is one executed query: column names aligned with row cells.
+// Cell types are int64 (bucket starts, meter IDs, counts), float64
+// (aggregates), or string (zones).
+type Result struct {
+	Columns []string `json:"columns"`
+	Rows    [][]any  `json:"rows"`
+	Window  [2]int64 `json:"window"`  // resolved half-open scan window
+	Meters  int      `json:"meters"`  // meters scanned
+	Samples int      `json:"samples"` // samples aggregated
+	Plan    string   `json:"plan"`    // EXPLAIN rendering of the plan
+	// Fingerprint is the selection-scoped data version of exactly the
+	// state the rows were computed from: the commutative combination of
+	// the per-meter versions each scan observed at iterator-snapshot time.
+	// Two results with equal fingerprints are byte-identical even when
+	// computed concurrently with streaming appends.
+	Fingerprint uint64 `json:"fingerprint"`
+}
+
+// ResolveWindow returns the plan's effective half-open scan window over
+// st: explicit bounds where the query set them, the store's data extent
+// filling the absent side(s). ok is false when the window cannot be
+// resolved (an empty store, or an extent entirely outside the bounds) —
+// the query then yields zero rows. Callers memoizing results of plans
+// with an absent side must key on the resolved window: the extent moves
+// when any meter receives newer samples.
+func (p *Plan) ResolveWindow(st *store.Store) (from, to int64, ok bool) {
+	if p.HasFrom && p.HasTo {
+		return p.From, p.To, p.To > p.From
+	}
+	first, last, has := st.TimeBounds()
+	if !has {
+		return 0, 0, false
+	}
+	from, to = first, last+1
+	if p.HasFrom {
+		from = p.From
+	}
+	if p.HasTo {
+		to = p.To
+	}
+	return from, to, to > from
+}
+
+// groupKey identifies one output group. Unused dimensions stay at their
+// zero values, so the ungrouped (single-row) query uses the zero key.
+type groupKey struct {
+	bucket int64
+	meter  int64
+	zone   store.ZoneType
+}
+
+// aggState folds one group's samples. All aggregate functions share one
+// state so a select list mixing sum/mean/min/max/count scans once.
+type aggState struct {
+	sum      float64
+	count    int64
+	min, max float64
+}
+
+func newAggState() *aggState {
+	return &aggState{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+func (a *aggState) add(v float64) {
+	a.sum += v
+	a.count++
+	if v < a.min {
+		a.min = v
+	}
+	if v > a.max {
+		a.max = v
+	}
+}
+
+func (a *aggState) merge(b *aggState) {
+	a.sum += b.sum
+	a.count += b.count
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+}
+
+// value finalizes one aggregate. Value-folding aggregates over zero
+// samples are null (JSON-encodable, unlike NaN/±Inf).
+func (a *aggState) value(fn AggFn) any {
+	switch fn {
+	case AggSum:
+		return a.sum
+	case AggMean:
+		if a.count == 0 {
+			return nil
+		}
+		return a.sum / float64(a.count)
+	case AggMin:
+		if a.count == 0 {
+			return nil
+		}
+		return a.min
+	case AggMax:
+		if a.count == 0 {
+			return nil
+		}
+		return a.max
+	default: // AggCount
+		return a.count
+	}
+}
+
+// Execute runs a compiled plan against the engine's store: it resolves
+// the meter selection and delegates to ExecuteResolved. A selection
+// matching no meters or an unresolvable window yields zero rows, not an
+// error (SQL semantics).
+func Execute(ctx context.Context, eng *query.Engine, p *Plan) (*Result, error) {
+	ids, err := ResolveScanMeters(eng, p)
+	if err != nil {
+		return nil, err
+	}
+	from, to, ok := p.ResolveWindow(eng.Store())
+	return ExecuteResolved(ctx, eng, p, ids, from, to, ok)
+}
+
+// ResolveScanMeters resolves the plan's meter set for execution: the
+// selection's meters minus ids that are not registered (an explicit
+// meter set naming unknown ids filters to nothing instead of erroring the
+// scan with ErrUnknownMeter). A selection matching nothing returns an
+// empty set, not query.ErrNoMeters.
+func ResolveScanMeters(eng *query.Engine, p *Plan) ([]int64, error) {
+	ids, err := eng.ResolveMeters(p.Sel)
+	if err != nil {
+		if errors.Is(err, query.ErrNoMeters) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	cat := eng.Store().Catalog()
+	known := ids[:0]
+	for _, id := range ids {
+		if _, ok := cat.Get(id); ok {
+			known = append(known, id)
+		}
+	}
+	return known, nil
+}
+
+// ExecuteResolved runs a compiled plan over an already-resolved meter set
+// and scan window (from ResolveScanMeters and Plan.ResolveWindow —
+// callers that also fingerprint the selection and key caches on the
+// window resolve once and share both, so the keyed window can never
+// diverge from the executed one). windowOK false yields zero rows.
+// Per-meter scans fan out across the engine's workers via the shared
+// execution substrate, each streaming its pushdown iterator into partial
+// per-group aggregates; partials merge into the final groups, which are
+// then ordered and limited.
+func ExecuteResolved(ctx context.Context, eng *query.Engine, p *Plan, ids []int64, from, to int64, windowOK bool) (*Result, error) {
+	res := &Result{Columns: make([]string, len(p.Cols)), Rows: [][]any{}}
+	for i, c := range p.Cols {
+		res.Columns[i] = c.Name
+	}
+	cat := eng.Store().Catalog()
+	res.Plan = explainText(p, eng.Workers(), len(ids), true)
+	if len(ids) == 0 || !windowOK {
+		res.Rows = p.buildRows(nil)
+		return res, nil
+	}
+	res.Window = [2]int64{from, to}
+	res.Meters = len(ids)
+
+	gran := p.Granularity()
+	groupMeter := false
+	for _, k := range p.Keys {
+		if k.Kind == KeyMeter {
+			groupMeter = true
+		}
+	}
+
+	partials := make([]map[groupKey]*aggState, len(ids))
+	counts := make([]int, len(ids))
+	vers := make([]uint64, len(ids))
+	err := exec.ForEach(ctx, len(ids), eng.Workers(), func(i int) error {
+		id := ids[i]
+		var zone store.ZoneType
+		if p.needZone {
+			if m, ok := cat.Get(id); ok {
+				zone = m.Zone
+			}
+		}
+		it, err := eng.Store().Iter(id, from, to)
+		if err != nil {
+			return err
+		}
+		vers[i] = it.Version()
+		local := make(map[groupKey]*aggState)
+		key := groupKey{zone: zone}
+		if groupMeter {
+			key.meter = id
+		}
+		var cur *aggState
+		var curBucket int64 = math.MinInt64
+		n := 0
+		for it.Next() {
+			s := it.Sample()
+			if p.hasBucket {
+				b := gran.Truncate(s.TS)
+				if b != curBucket || cur == nil {
+					curBucket = b
+					key.bucket = b
+					cur = local[key]
+					if cur == nil {
+						cur = newAggState()
+						local[key] = cur
+					}
+				}
+			} else if cur == nil {
+				cur = local[key]
+				if cur == nil {
+					cur = newAggState()
+					local[key] = cur
+				}
+			}
+			cur.add(s.Value)
+			n++
+		}
+		if err := it.Err(); err != nil {
+			return err
+		}
+		partials[i] = local
+		counts[i] = n
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res.Fingerprint = store.FingerprintPairs(ids, vers)
+
+	groups := make(map[groupKey]*aggState)
+	for i, local := range partials {
+		res.Samples += counts[i]
+		for k, st := range local {
+			if g, ok := groups[k]; ok {
+				g.merge(st)
+			} else {
+				groups[k] = st
+			}
+		}
+	}
+
+	res.Rows = p.buildRows(groups)
+	return res, nil
+}
+
+// buildRows materializes, orders, and limits the output rows. An
+// ungrouped aggregate always yields exactly one row (SQL semantics): over
+// an empty selection count is 0 and the value-folding aggregates are null.
+func (p *Plan) buildRows(groups map[groupKey]*aggState) [][]any {
+	if len(p.Keys) == 0 && len(groups) == 0 {
+		groups = map[groupKey]*aggState{{}: newAggState()}
+	}
+	keys := make([]groupKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	// Default ordering: the group-key tuple ascending, so unordered queries
+	// are still deterministic.
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.bucket != b.bucket {
+			return a.bucket < b.bucket
+		}
+		if a.meter != b.meter {
+			return a.meter < b.meter
+		}
+		return a.zone < b.zone
+	})
+	rows := make([][]any, len(keys))
+	for r, k := range keys {
+		st := groups[k]
+		row := make([]any, len(p.Cols))
+		for c, col := range p.Cols {
+			if col.IsKey {
+				switch p.Keys[col.Key].Kind {
+				case KeyBucket:
+					row[c] = k.bucket
+				case KeyMeter:
+					row[c] = k.meter
+				default:
+					row[c] = string(k.zone)
+				}
+			} else {
+				row[c] = st.value(col.Agg)
+			}
+		}
+		rows[r] = row
+	}
+	if len(p.Order) > 0 {
+		sort.SliceStable(rows, func(i, j int) bool {
+			for _, o := range p.Order {
+				c := cmpVal(rows[i][o.col], rows[j][o.col])
+				if c != 0 {
+					if o.desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+	if p.Limit >= 0 && len(rows) > p.Limit {
+		rows = rows[:p.Limit]
+	}
+	return rows
+}
+
+// cmpVal orders two homogeneous cell values (int64, float64, string, or
+// nil for empty-group aggregates, which sort first).
+func cmpVal(a, b any) int {
+	if a == nil || b == nil {
+		switch {
+		case a == nil && b == nil:
+			return 0
+		case a == nil:
+			return -1
+		default:
+			return 1
+		}
+	}
+	switch av := a.(type) {
+	case int64:
+		bv := b.(int64)
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		}
+		return 0
+	case float64:
+		bv := b.(float64)
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		}
+		return 0
+	case string:
+		bv := b.(string)
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}

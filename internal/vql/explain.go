@@ -1,0 +1,121 @@
+package vql
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"vap/internal/query"
+)
+
+// ExplainString renders the plan tree with pushdown annotations. The tree
+// reads bottom-up: the scan node lists every predicate lowered into the
+// store (and how it is served), the aggregate node the grouping shape, and
+// the top nodes ordering and limiting. eng supplies runtime context — how
+// many meters the selection resolves to and the fan-out width; it may be
+// nil for a purely static rendering.
+func ExplainString(p *Plan, eng *query.Engine) string {
+	if eng == nil {
+		return explainText(p, 0, 0, false)
+	}
+	meters := 0
+	if ids, err := eng.ResolveMeters(p.Sel); err == nil {
+		meters = len(ids)
+	} else if !errors.Is(err, query.ErrNoMeters) {
+		return explainText(p, eng.Workers(), 0, true)
+	}
+	return explainText(p, eng.Workers(), meters, true)
+}
+
+// explainText is the rendering body; Execute calls it directly with the
+// meter set it already resolved so the hot path never resolves twice.
+func explainText(p *Plan, workers, meters int, runtime bool) string {
+	var sb strings.Builder
+	sb.WriteString("VQL plan\n")
+	depth := 0
+	node := func(text string) {
+		sb.WriteString(strings.Repeat("   ", depth))
+		sb.WriteString("└─ ")
+		sb.WriteString(text)
+		sb.WriteByte('\n')
+		depth++
+	}
+	leaf := func(last bool, text string) {
+		sb.WriteString(strings.Repeat("   ", depth))
+		if last {
+			sb.WriteString("└─ ")
+		} else {
+			sb.WriteString("├─ ")
+		}
+		sb.WriteString(text)
+		sb.WriteByte('\n')
+	}
+
+	if p.Limit >= 0 {
+		node(fmt.Sprintf("Limit: %d", p.Limit))
+	}
+	if len(p.Order) > 0 {
+		terms := make([]string, len(p.Order))
+		for i, o := range p.Order {
+			dir := "asc"
+			if o.desc {
+				dir = "desc"
+			}
+			terms[i] = fmt.Sprintf("%s %s", p.Cols[o.col].Name, dir)
+		}
+		node("Sort: " + strings.Join(terms, ", "))
+	}
+	if len(p.Keys) > 0 {
+		keys := make([]string, len(p.Keys))
+		for i, k := range p.Keys {
+			keys[i] = k.String()
+		}
+		node(fmt.Sprintf("GroupAggregate: keys=[%s] aggs=[%s]",
+			strings.Join(keys, ", "), strings.Join(p.aggList(), ", ")))
+	} else {
+		node(fmt.Sprintf("Aggregate: [%s] (single group)", strings.Join(p.aggList(), ", ")))
+	}
+	node("Scan: meters")
+
+	var details []string
+	if p.Sel.BBox != nil {
+		details = append(details, fmt.Sprintf("pushdown bbox(%g, %g, %g, %g) -> catalog spatial index",
+			p.Sel.BBox.Min.Lon, p.Sel.BBox.Min.Lat, p.Sel.BBox.Max.Lon, p.Sel.BBox.Max.Lat))
+	}
+	if p.Sel.Zone != "" {
+		details = append(details, fmt.Sprintf("pushdown zone = '%s' -> catalog filter", p.Sel.Zone))
+	}
+	if p.Sel.MeterIDs != nil {
+		details = append(details, fmt.Sprintf("pushdown meter set (%d ids) -> direct lookup", len(p.Sel.MeterIDs)))
+	}
+	if p.HasFrom || p.HasTo {
+		details = append(details, fmt.Sprintf("pushdown time [%s, %s) -> block min/max pruned iterator",
+			p.boundStr(true), p.boundStr(false)))
+	}
+	if len(details) == 0 {
+		details = append(details, "full scan (no predicates; iterator still streams block-by-block)")
+	}
+	if runtime {
+		details = append(details, fmt.Sprintf("meters resolved: %d", meters))
+		details = append(details, fmt.Sprintf("fanout: %d workers via internal/exec, cancellable", workers))
+	}
+	for i, d := range details {
+		leaf(i == len(details)-1, d)
+	}
+	return sb.String()
+}
+
+// aggList returns the distinct aggregate expressions of the select list in
+// column order.
+func (p *Plan) aggList() []string {
+	var out []string
+	for _, c := range p.Cols {
+		if !c.IsKey {
+			out = append(out, c.Expr.String())
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, "(keys only)")
+	}
+	return out
+}

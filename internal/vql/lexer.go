@@ -1,0 +1,243 @@
+package vql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies a lexical token.
+type TokKind int
+
+// Token kinds. Keywords are recognised case-insensitively by the parser;
+// the lexer only distinguishes the syntactic shape.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber // integer or float literal
+	TokString // single- or double-quoted literal
+	TokComma
+	TokLParen
+	TokRParen
+	TokStar
+	TokSemicolon
+	TokOp // = != < <= > >=
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokComma:
+		return "','"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokStar:
+		return "'*'"
+	case TokSemicolon:
+		return "';'"
+	case TokOp:
+		return "operator"
+	default:
+		return "token"
+	}
+}
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line int `json:"line"`
+	Col  int `json:"col"`
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical unit with its source position.
+type Token struct {
+	Kind TokKind
+	Text string // raw text (string tokens hold the unquoted value)
+	Pos  Pos
+}
+
+// Error is a parse or type error carrying the source position, so API
+// clients and the REPL can point at the offending token.
+type Error struct {
+	Msg string
+	Pos Pos
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("vql: %s at line %d, column %d", e.Msg, e.Pos.Line, e.Pos.Col)
+}
+
+func errAt(pos Pos, format string, args ...any) *Error {
+	return &Error{Msg: fmt.Sprintf(format, args...), Pos: pos}
+}
+
+// lexer scans a VQL source string into tokens.
+type lexer struct {
+	src       string
+	off       int
+	line, col int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.off >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.off], true
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) skipSpace() {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '-' && l.off+1 < len(l.src) && l.src[l.off+1] == '-':
+			// -- line comment
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// next returns the next token.
+func (l *lexer) next() (Token, error) {
+	l.skipSpace()
+	start := l.pos()
+	c, ok := l.peekByte()
+	if !ok {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	switch {
+	case isIdentStart(c):
+		var sb strings.Builder
+		for {
+			c, ok := l.peekByte()
+			if !ok || !isIdentPart(c) {
+				break
+			}
+			sb.WriteByte(l.advance())
+		}
+		return Token{Kind: TokIdent, Text: sb.String(), Pos: start}, nil
+	case c >= '0' && c <= '9' || c == '-' && l.off+1 < len(l.src) && l.src[l.off+1] >= '0' && l.src[l.off+1] <= '9':
+		var sb strings.Builder
+		if c == '-' {
+			sb.WriteByte(l.advance())
+		}
+		seenDot := false
+		for {
+			c, ok := l.peekByte()
+			if !ok {
+				break
+			}
+			if c == '.' && !seenDot {
+				seenDot = true
+			} else if c < '0' || c > '9' {
+				break
+			}
+			sb.WriteByte(l.advance())
+		}
+		return Token{Kind: TokNumber, Text: sb.String(), Pos: start}, nil
+	case c == '\'' || c == '"':
+		quote := l.advance()
+		var sb strings.Builder
+		for {
+			c, ok := l.peekByte()
+			if !ok {
+				return Token{}, errAt(start, "unterminated string literal")
+			}
+			l.advance()
+			if c == quote {
+				return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+			}
+			sb.WriteByte(c)
+		}
+	case c == ',':
+		l.advance()
+		return Token{Kind: TokComma, Text: ",", Pos: start}, nil
+	case c == '(':
+		l.advance()
+		return Token{Kind: TokLParen, Text: "(", Pos: start}, nil
+	case c == ')':
+		l.advance()
+		return Token{Kind: TokRParen, Text: ")", Pos: start}, nil
+	case c == '*':
+		l.advance()
+		return Token{Kind: TokStar, Text: "*", Pos: start}, nil
+	case c == ';':
+		l.advance()
+		return Token{Kind: TokSemicolon, Text: ";", Pos: start}, nil
+	case c == '=' || c == '<' || c == '>' || c == '!':
+		first := l.advance()
+		op := string(first)
+		if nxt, ok := l.peekByte(); ok && nxt == '=' {
+			l.advance()
+			op += "="
+		}
+		if op == "!" {
+			return Token{}, errAt(start, "unexpected character '!'")
+		}
+		return Token{Kind: TokOp, Text: op, Pos: start}, nil
+	default:
+		return Token{}, errAt(start, "unexpected character %q", string(c))
+	}
+}
+
+// lexAll tokenizes the whole source.
+func lexAll(src string) ([]Token, error) {
+	l := newLexer(src)
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -167,6 +167,13 @@ type ShiftConfig = core.ShiftConfig
 // ShiftResult is a computed flow map (view A).
 type ShiftResult = core.ShiftResult
 
+// VQLOutput is one executed VQL statement: rows, plan explain, and the
+// version metadata of the data the result was computed from. Execute
+// statements with Analyzer.VQL:
+//
+//	out, err := an.VQL(ctx, "SELECT zone, sum(value) FROM meters GROUP BY zone")
+type VQLOutput = core.VQLOutput
+
 // Selection filters meters and time.
 type Selection = query.Selection
 
