@@ -412,6 +412,52 @@ func BenchmarkStoreAppend(b *testing.B) {
 	}
 }
 
+// BenchmarkDurableAppend measures durable ingest throughput through the
+// WAL's group-commit pipeline: G goroutines append to disjoint meters in a
+// directory-backed store. With sync on, every append waits until its batch
+// is written and fsynced — so goroutines=1 is the per-append-fsync
+// baseline (one commit per append, nothing to batch with), while
+// goroutines=16 shows concurrent appenders sharing commits: durable
+// throughput scales with concurrency instead of fsync count (the
+// acceptance bar is >= 5x the baseline). The sync=false rows measure the
+// buffered path where commits happen in the background every
+// CommitInterval.
+func BenchmarkDurableAppend(b *testing.B) {
+	for _, syncEvery := range []bool{false, true} {
+		for _, g := range []int{1, 16} {
+			b.Run(fmt.Sprintf("sync=%t/goroutines=%d", syncEvery, g), func(b *testing.B) {
+				st, err := store.Open(store.Options{Dir: b.TempDir(), SyncEveryAppend: syncEvery})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer st.Close()
+				for id := int64(1); id <= int64(g); id++ {
+					m := store.Meter{ID: id, Location: vap.Point{Lon: 12.5 + float64(id)*0.001, Lat: 55.7}, Zone: store.ZoneResidential}
+					if err := st.PutMeter(m); err != nil {
+						b.Fatal(err)
+					}
+				}
+				per := b.N/g + 1
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for id := int64(1); id <= int64(g); id++ {
+					wg.Add(1)
+					go func(id int64) {
+						defer wg.Done()
+						for i := 1; i <= per; i++ {
+							if err := st.Append(id, store.Sample{TS: int64(i), Value: float64(i % 24)}); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(id)
+				}
+				wg.Wait()
+			})
+		}
+	}
+}
+
 func BenchmarkStoreRangeScan(b *testing.B) {
 	setupBench(b)
 	from := benchData.ds.Start.Unix()

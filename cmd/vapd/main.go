@@ -5,11 +5,15 @@
 // Usage:
 //
 //	vapd [-addr :8080] [-dir data/] [-seed 42] [-days 365] [-stream] [-interval 10s] [-shards 16]
+//	     [-sync] [-segment-bytes N] [-commit-interval 2ms] [-snapshot-interval 5m]
 //
-// With -dir, the store is durable (WAL + snapshots); if the directory is
-// empty a synthetic dataset is generated and snapshotted into it. With
-// -stream, the last 7 days of data are withheld from the initial load and
-// replayed live at -interval per hour of data.
+// With -dir, the store is durable (segmented WAL + snapshots); if the
+// directory is empty a synthetic dataset is generated and snapshotted into
+// it. -sync makes every append wait for its group commit (fsync-durable
+// acks); -snapshot-interval runs background snapshots that retire covered
+// WAL segments without blocking ingest (POST /api/admin/snapshot triggers
+// one on demand). With -stream, the last 7 days of data are withheld from
+// the initial load and replayed live at -interval per hour of data.
 package main
 
 import (
@@ -38,9 +42,19 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel kernel fan-out (0 = NumCPU)")
 	cacheEntries := flag.Int("cache", 0, "versioned result-cache entries (0 = default 64)")
 	shards := flag.Int("shards", 0, "store lock shards, rounded up to a power of two (0 = default 16)")
+	syncEvery := flag.Bool("sync", false, "fsync every append via group commit (durable acks)")
+	segmentBytes := flag.Int64("segment-bytes", 0, "WAL segment rotation threshold (0 = default 64 MiB)")
+	commitInterval := flag.Duration("commit-interval", 0, "WAL group-commit cadence (0 = default 2ms)")
+	snapInterval := flag.Duration("snapshot-interval", 0, "background snapshot cadence; snapshots retire covered WAL segments without blocking ingest (0 = only on demand via POST /api/admin/snapshot)")
 	flag.Parse()
 
-	st, err := store.Open(store.Options{Dir: *dir, Shards: *shards})
+	st, err := store.Open(store.Options{
+		Dir:             *dir,
+		Shards:          *shards,
+		SyncEveryAppend: *syncEvery,
+		SegmentBytes:    *segmentBytes,
+		CommitInterval:  *commitInterval,
+	})
 	if err != nil {
 		log.Fatalf("open store: %v", err)
 	}
@@ -110,6 +124,35 @@ func main() {
 			log.Printf("replayer finished after %d ticks", ticks)
 		}()
 		log.Printf("streaming enabled: replaying %d data-hours every %v", (to-from)/3600, *interval)
+	}
+
+	if *dir != "" && *snapInterval > 0 {
+		go func() {
+			t := time.NewTicker(*snapInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					start := time.Now()
+					if err := st.Snapshot(); err != nil {
+						log.Printf("background snapshot: %v", err)
+						continue
+					}
+					segs, bytes := st.WALStats()
+					log.Printf("snapshot done in %v: wal now %d segments / %d bytes",
+						time.Since(start).Round(time.Millisecond), segs, bytes)
+					if hub != nil {
+						hub.Publish(stream.Event{
+							Kind: stream.KindSnapshot, WALSegments: segs, WALBytes: bytes,
+							DataVersion: stream.DataVersion{Global: st.Version(), Fingerprint: st.GlobalFingerprint()},
+						})
+					}
+				}
+			}
+		}()
+		log.Printf("background snapshots every %v (writers are not blocked)", *snapInterval)
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: api.NewServer(an, hub).Routes()}

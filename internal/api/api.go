@@ -8,6 +8,7 @@ package api
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -51,6 +52,7 @@ func (s *Server) Routes() *http.ServeMux {
 	mux.HandleFunc("/api/patterns", s.handlePatterns)
 	mux.HandleFunc("/api/flow", s.handleFlow)
 	mux.HandleFunc("/api/stats", s.handleStats)
+	mux.HandleFunc("/api/admin/snapshot", s.handleAdminSnapshot)
 	mux.HandleFunc("/api/exec", s.handleExec)
 	mux.HandleFunc("/api/query", s.handleQuery)
 	mux.HandleFunc("/api/stream", s.handleStream)
@@ -193,6 +195,10 @@ func (s *Server) dataVersion() stream.DataVersion {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.an.Store().Stats()
 	first, last, ok := s.an.Store().TimeBounds()
+	var snapAge int64 = -1 // -1: no snapshot has completed in this process
+	if st.LastSnapshotUnix > 0 {
+		snapAge = time.Now().Unix() - st.LastSnapshotUnix
+	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"meters":           st.Meters,
 		"samples":          st.Samples,
@@ -204,6 +210,51 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"data_to":          last,
 		"has_data":         ok,
 		"data_version":     s.dataVersion(),
+		// Durability: live WAL footprint (0/0 for in-memory stores) and
+		// how stale the latest snapshot is.
+		"wal_segments":          st.WALSegments,
+		"wal_bytes":             st.WALBytes,
+		"last_snapshot_unix":    st.LastSnapshotUnix,
+		"last_snapshot_age_sec": snapAge,
+	})
+}
+
+// handleAdminSnapshot triggers a durability snapshot on demand (POST).
+// The snapshot runs without blocking writers; when it completes, covered
+// WAL segments are retired and — if streaming is enabled — a snapshot
+// event is broadcast to SSE subscribers.
+func (s *Server) handleAdminSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("api: snapshot trigger is POST-only"))
+		return
+	}
+	st := s.an.Store()
+	start := time.Now()
+	if err := st.Snapshot(); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, store.ErrNoDurability) {
+			status = http.StatusConflict // in-memory store: nothing to snapshot
+		}
+		writeErr(w, status, err)
+		return
+	}
+	segs, bytes := st.WALStats()
+	if s.hub != nil {
+		s.hub.Publish(stream.Event{
+			Kind:        stream.KindSnapshot,
+			WALSegments: segs,
+			WALBytes:    bytes,
+			DataVersion: s.dataVersion(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":             "ok",
+		"duration_ms":        time.Since(start).Milliseconds(),
+		"wal_segments":       segs,
+		"wal_bytes":          bytes,
+		"last_snapshot_unix": st.LastSnapshotUnix(),
+		"data_version":       s.dataVersion(),
 	})
 }
 
@@ -394,8 +445,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			if !ok {
 				return
 			}
+			name := e.Kind
+			if name == "" {
+				name = stream.KindIngest
+			}
 			payload, _ := json.Marshal(e)
-			fmt.Fprintf(w, "event: density\ndata: %s\n\n", payload)
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, payload)
 			fl.Flush()
 		}
 	}

@@ -84,6 +84,104 @@ func TestStats(t *testing.T) {
 	}
 }
 
+func postJSON(t *testing.T, url string, out interface{}) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestAdminSnapshot exercises the on-demand durability trigger: POST runs a
+// snapshot, covered WAL segments are retired, /api/stats reports the WAL
+// footprint and snapshot age, and a snapshot event reaches SSE subscribers.
+func TestAdminSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	ds := gen.Generate(gen.Config{Seed: 5, Days: 3, Counts: map[gen.Pattern]int{gen.PatternBimodal: 4}})
+	if err := ds.LoadInto(st); err != nil {
+		t.Fatal(err)
+	}
+	hub := stream.NewHub()
+	srv := httptest.NewServer(NewServer(core.NewAnalyzer(st), hub).Routes())
+	t.Cleanup(srv.Close)
+	events, unsub := hub.Subscribe()
+	t.Cleanup(unsub)
+
+	if code := getJSON(t, srv.URL+"/api/admin/snapshot", nil); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET snapshot status = %d, want 405", code)
+	}
+	var snap struct {
+		Status           string `json:"status"`
+		WALSegments      int    `json:"wal_segments"`
+		LastSnapshotUnix int64  `json:"last_snapshot_unix"`
+	}
+	if code := postJSON(t, srv.URL+"/api/admin/snapshot", &snap); code != 200 {
+		t.Fatalf("POST snapshot status = %d", code)
+	}
+	if snap.Status != "ok" || snap.WALSegments != 1 || snap.LastSnapshotUnix == 0 {
+		t.Errorf("snapshot response = %+v, want ok / 1 bare segment / timestamp", snap)
+	}
+	select {
+	case e := <-events:
+		if e.Kind != stream.KindSnapshot {
+			t.Errorf("event kind = %q, want %q", e.Kind, stream.KindSnapshot)
+		}
+		if e.WALSegments != 1 {
+			t.Errorf("event wal_segments = %d, want 1", e.WALSegments)
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("no snapshot event reached the hub")
+	}
+
+	var stats struct {
+		WALSegments    int   `json:"wal_segments"`
+		WALBytes       int64 `json:"wal_bytes"`
+		LastSnapUnix   int64 `json:"last_snapshot_unix"`
+		LastSnapAgeSec int64 `json:"last_snapshot_age_sec"`
+	}
+	if code := getJSON(t, srv.URL+"/api/stats", &stats); code != 200 {
+		t.Fatalf("stats status = %d", code)
+	}
+	if stats.WALSegments != 1 || stats.WALBytes <= 0 {
+		t.Errorf("stats wal = %d segments / %d bytes, want 1 bare segment", stats.WALSegments, stats.WALBytes)
+	}
+	if stats.LastSnapUnix == 0 || stats.LastSnapAgeSec < 0 {
+		t.Errorf("stats snapshot age = unix %d / age %d", stats.LastSnapUnix, stats.LastSnapAgeSec)
+	}
+}
+
+// TestAdminSnapshotInMemory: a store without a durability directory cannot
+// snapshot; the trigger reports the conflict instead of a generic 500.
+func TestAdminSnapshotInMemory(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	if code := postJSON(t, srv.URL+"/api/admin/snapshot", nil); code != http.StatusConflict {
+		t.Errorf("in-memory snapshot status = %d, want 409", code)
+	}
+	// And stats still render, with a zero WAL footprint and no snapshot.
+	var stats struct {
+		WALSegments    int   `json:"wal_segments"`
+		LastSnapAgeSec int64 `json:"last_snapshot_age_sec"`
+	}
+	if code := getJSON(t, srv.URL+"/api/stats", &stats); code != 200 {
+		t.Fatalf("stats status = %d", code)
+	}
+	if stats.WALSegments != 0 || stats.LastSnapAgeSec != -1 {
+		t.Errorf("in-memory stats: wal_segments=%d age=%d, want 0 / -1", stats.WALSegments, stats.LastSnapAgeSec)
+	}
+}
+
 func TestCustomersFilters(t *testing.T) {
 	srv, ds := newTestServer(t, nil)
 	var all struct {

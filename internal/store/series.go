@@ -54,11 +54,22 @@ func (s *Series) LastTS() int64 {
 	return 0
 }
 
+// CheckAppend reports whether Append(smp) would succeed, without mutating
+// the series. The store uses it to validate a sample before enqueueing its
+// WAL record, so the log is never ahead of what memory will accept — and a
+// WAL failure can return before memory is touched.
+func (s *Series) CheckAppend(smp Sample) error {
+	if s.total > 0 && smp.TS <= s.LastTS() {
+		return ErrOutOfOrder
+	}
+	return nil
+}
+
 // Append adds one sample. Timestamps must be strictly increasing across the
 // series lifetime.
 func (s *Series) Append(smp Sample) error {
-	if s.total > 0 && smp.TS <= s.LastTS() {
-		return ErrOutOfOrder
+	if err := s.CheckAppend(smp); err != nil {
+		return err
 	}
 	if s.head.Len() == 0 {
 		s.headMinTS = smp.TS

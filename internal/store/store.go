@@ -14,6 +14,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vap/internal/geo"
 	"vap/internal/index"
@@ -31,9 +32,19 @@ type Options struct {
 	// Dir is the durability directory. Empty means a purely in-memory store
 	// with no WAL or snapshots.
 	Dir string
-	// SyncEveryAppend fsyncs the WAL after every sample; defaults to false
-	// (the WAL is flushed on Snapshot/Close and buffered in between).
+	// SyncEveryAppend makes every Append wait for its group commit: when it
+	// returns nil, the sample is on disk. Defaults to false, where appends
+	// return immediately and the committer flushes+fsyncs the log in the
+	// background at most CommitInterval behind.
 	SyncEveryAppend bool
+	// SegmentBytes is the WAL segment rotation threshold; <= 0 selects
+	// DefaultSegmentBytes (64 MiB).
+	SegmentBytes int64
+	// CommitInterval is the group-commit cadence: sync appenders that
+	// arrive while a commit's fsync is in flight are batched into the next
+	// one, and buffered (non-sync) appends are flushed at least this often.
+	// <= 0 selects DefaultCommitInterval (2ms).
+	CommitInterval time.Duration
 	// Shards is the number of lock shards the series map is split across.
 	// Meters are hashed by ID onto shards, so concurrent appends and reads
 	// touching different meters contend only when they land on the same
@@ -67,11 +78,17 @@ type Store struct {
 	shards  []*shard
 	mask    uint64
 	opts    Options
-	// walMu serializes WAL writes across shards. Lock order is always
-	// shard(s) before walMu, so per-meter WAL record order matches series
-	// order and replay never drops an append as out-of-order.
-	walMu sync.Mutex
-	wal   *WAL
+	// wal is the segmented group-commit log. Records are enqueued under the
+	// owning shard lock (so per-meter WAL order matches series order and
+	// replay never drops an append as out-of-order) and committed — one
+	// write+fsync per batch — by the WAL's committer goroutine.
+	wal *WAL
+	// snapMu serializes Snapshot against itself and Close. Lock order:
+	// snapMu before shard locks.
+	snapMu sync.Mutex
+	// lastSnapUnix is the wall-clock second the latest snapshot became
+	// durable; 0 means never.
+	lastSnapUnix atomic.Int64
 	// closed flips once in Close while every shard lock is held, so any
 	// mutation that observes it false under its shard lock is guaranteed
 	// to finish before the WAL is released.
@@ -85,6 +102,10 @@ type Store struct {
 // ErrClosed is returned by mutations (and a second Close) after the store
 // has been closed. Reads keep working on the in-memory data.
 var ErrClosed = errors.New("store: closed")
+
+// ErrNoDurability is returned by Snapshot on a store opened without a
+// durability directory: there is nowhere to persist to.
+var ErrNoDurability = errors.New("store: snapshot requires a durability directory")
 
 // Version returns the store's monotonically increasing data version. It
 // changes on every successful mutation and never decreases; two equal
@@ -144,14 +165,26 @@ func Open(opts Options) (*Store, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
+	// A crash mid-snapshot can leave a partial temp file; it was never
+	// renamed into place, so it covers nothing and is safe to drop.
+	os.Remove(filepath.Join(opts.Dir, "snapshot.vap.tmp"))
 	snapPath := filepath.Join(opts.Dir, "snapshot.vap")
 	if _, err := os.Stat(snapPath); err == nil {
 		if err := s.loadSnapshot(snapPath); err != nil {
 			return nil, fmt.Errorf("store: loading snapshot: %w", err)
 		}
 	}
-	walPath := filepath.Join(opts.Dir, "wal.log")
-	err := ReplayWAL(walPath,
+	// OpenWAL truncates the tail segment to its last valid record boundary
+	// before anything is replayed or appended, so recovery can neither stop
+	// early at a torn record nor append new data behind one.
+	wal, err := OpenWAL(opts.Dir, walOptions{
+		SegmentBytes:   opts.SegmentBytes,
+		CommitInterval: opts.CommitInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = wal.Replay(
 		func(m Meter) error { return s.replayMeter(m) },
 		func(id int64, smp Sample) error {
 			// Replay may overlap the snapshot; skip stale samples.
@@ -162,11 +195,8 @@ func Open(opts Options) (*Store, error) {
 			return err
 		})
 	if err != nil {
+		wal.Close()
 		return nil, fmt.Errorf("store: replaying WAL: %w", err)
-	}
-	wal, err := OpenWAL(walPath)
-	if err != nil {
-		return nil, err
 	}
 	s.wal = wal
 	return s, nil
@@ -189,9 +219,12 @@ func (s *Store) unlockAll() {
 	}
 }
 
-// Close flushes the WAL and releases resources. A second Close, like any
-// mutation after the first, returns ErrClosed.
+// Close commits and closes the WAL and releases resources. A second
+// Close, like any mutation after the first, returns ErrClosed. An
+// in-flight Snapshot finishes first (snapMu).
 func (s *Store) Close() error {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
 	s.lockAll()
 	if s.closed.Load() {
 		s.unlockAll()
@@ -199,12 +232,26 @@ func (s *Store) Close() error {
 	}
 	s.closed.Store(true)
 	s.unlockAll()
-	s.walMu.Lock()
-	defer s.walMu.Unlock()
+	// Every appender that passed the closed check held its shard lock while
+	// enqueueing, and lockAll above waited for them — so the WAL's final
+	// commit below covers every acknowledged enqueue.
 	if s.wal != nil {
 		return s.wal.Close()
 	}
 	return nil
+}
+
+// Sync forces a group commit of every append buffered so far (appends made
+// without SyncEveryAppend) and waits for it to reach disk. It is a no-op
+// for in-memory stores.
+func (s *Store) Sync() error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Sync()
 }
 
 // Catalog exposes the meter metadata registry.
@@ -228,25 +275,38 @@ func (s *Store) putMeterShardLocked(sh *shard, m Meter) error {
 }
 
 // PutMeter registers a meter and creates its (empty) series. Re-putting an
-// existing meter replaces its metadata and bumps its version.
+// existing meter replaces its metadata and bumps its version. The WAL
+// record is enqueued before the in-memory registration, so a failed log
+// never leaves memory ahead of it.
 func (s *Store) PutMeter(m Meter) error {
 	sh := s.shardFor(m.ID)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if s.closed.Load() {
+		sh.mu.Unlock()
 		return ErrClosed
 	}
-	if err := s.putMeterShardLocked(sh, m); err != nil {
+	// Pre-validate what putMeterShardLocked would reject, so an invalid
+	// meter is never logged (replay would refuse it and fail the open).
+	if !m.Location.Valid() {
+		sh.mu.Unlock()
+		return fmt.Errorf("store: meter %d has invalid location %v", m.ID, m.Location)
+	}
+	var commit *WALCommit
+	if s.wal != nil {
+		c, err := s.wal.AppendMeter(m, s.opts.SyncEveryAppend)
+		if err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+		commit = c
+	}
+	err := s.putMeterShardLocked(sh, m)
+	sh.mu.Unlock()
+	if err != nil {
 		return err
 	}
-	if s.wal != nil {
-		s.walMu.Lock()
-		err := s.wal.AppendMeter(m)
-		if err == nil && s.opts.SyncEveryAppend {
-			err = s.wal.Sync()
-		}
-		s.walMu.Unlock()
-		return err
+	if commit != nil {
+		return commit.Wait()
 	}
 	return nil
 }
@@ -279,65 +339,104 @@ func (s *Store) appendShardLocked(sh *shard, meterID int64, smp Sample) error {
 }
 
 // Append stores one sample for a registered meter.
+//
+// Durability contract: the WAL record is enqueued before the sample is
+// applied in memory, so a WAL failure (sticky commit error, closed log)
+// returns without mutating the series and the caller can retry without
+// hitting ErrOutOfOrder. With SyncEveryAppend the call additionally waits
+// for the group commit: a nil return means the sample is fsynced. If that
+// wait itself reports a commit failure, the sample is applied in memory
+// but its durability is unknown; the WAL's failure is sticky, so every
+// subsequent append fails fast until the store is reopened.
 func (s *Store) Append(meterID int64, smp Sample) error {
 	sh := s.shardFor(meterID)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if s.closed.Load() {
+		sh.mu.Unlock()
 		return ErrClosed
 	}
-	if err := s.appendShardLocked(sh, meterID, smp); err != nil {
+	ser, ok := sh.series[meterID]
+	if !ok {
+		sh.mu.Unlock()
+		return ErrUnknownMeter
+	}
+	if err := ser.CheckAppend(smp); err != nil {
+		sh.mu.Unlock()
 		return err
 	}
+	var commit *WALCommit
 	if s.wal != nil {
-		s.walMu.Lock()
-		err := s.wal.AppendSample(meterID, smp)
-		if err == nil && s.opts.SyncEveryAppend {
-			err = s.wal.Sync()
+		c, err := s.wal.AppendSample(meterID, smp, s.opts.SyncEveryAppend)
+		if err != nil {
+			sh.mu.Unlock()
+			return err
 		}
-		s.walMu.Unlock()
-		return err
+		commit = c
+	}
+	// Cannot fail after CheckAppend; the WAL and the series stay in step.
+	_ = ser.Append(smp)
+	sh.version.Add(1)
+	s.version.Add(1)
+	sh.mu.Unlock()
+	if commit != nil {
+		return commit.Wait()
 	}
 	return nil
 }
 
 // AppendBatch stores a batch of in-order samples for one meter, amortizing
-// lock and WAL overhead. It stops at the first error, returning the number
-// of samples stored.
+// lock and WAL overhead: the whole batch is logged as one enqueue and
+// covered by one group commit. It stops at the first invalid sample,
+// returning the number of samples stored. Like Append, the WAL enqueue
+// happens before any in-memory mutation.
 func (s *Store) AppendBatch(meterID int64, smps []Sample) (int, error) {
 	sh := s.shardFor(meterID)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if s.closed.Load() {
+		sh.mu.Unlock()
 		return 0, ErrClosed
 	}
 	ser, ok := sh.series[meterID]
 	if !ok {
+		sh.mu.Unlock()
 		return 0, ErrUnknownMeter
 	}
-	if s.wal != nil {
-		s.walMu.Lock()
-		defer s.walMu.Unlock()
-	}
+	// Find the valid prefix first: each sample must be strictly after both
+	// the series tail and its predecessors in the batch.
+	n := len(smps)
+	var batchErr error
+	last := ser.LastTS()
+	nonEmpty := ser.Len() > 0
 	for i, smp := range smps {
-		if err := ser.Append(smp); err != nil {
-			return i, err
+		if nonEmpty && smp.TS <= last {
+			n, batchErr = i, ErrOutOfOrder
+			break
 		}
-		sh.version.Add(1)
-		s.version.Add(1)
-		if s.wal != nil {
-			if err := s.wal.AppendSample(meterID, smp); err != nil {
-				// Sample i is already applied in memory; report it stored
-				// so a resuming caller does not replay it into
-				// ErrOutOfOrder.
-				return i + 1, err
-			}
+		last, nonEmpty = smp.TS, true
+	}
+	var commit *WALCommit
+	if s.wal != nil && n > 0 {
+		c, err := s.wal.AppendSamples(meterID, smps[:n], s.opts.SyncEveryAppend)
+		if err != nil {
+			sh.mu.Unlock()
+			return 0, err
+		}
+		commit = c
+	}
+	for _, smp := range smps[:n] {
+		_ = ser.Append(smp) // validated above
+	}
+	if n > 0 {
+		sh.version.Add(uint64(n))
+		s.version.Add(uint64(n))
+	}
+	sh.mu.Unlock()
+	if commit != nil {
+		if err := commit.Wait(); err != nil {
+			return n, err
 		}
 	}
-	if s.wal != nil && s.opts.SyncEveryAppend {
-		return len(smps), s.wal.Sync()
-	}
-	return len(smps), nil
+	return n, batchErr
 }
 
 // Range returns the samples of one meter with from <= TS < to.
@@ -512,6 +611,13 @@ type Stats struct {
 	CompressedBytes int
 	RawBytes        int // samples * 16 (8B ts + 8B value)
 	Shards          int
+	// WALSegments / WALBytes report the live write-ahead-log footprint;
+	// both are 0 for in-memory stores.
+	WALSegments int
+	WALBytes    int64
+	// LastSnapshotUnix is the wall-clock second the latest snapshot became
+	// durable in this process; 0 means no snapshot has completed.
+	LastSnapshotUnix int64
 }
 
 // Stats returns aggregate storage statistics.
@@ -526,8 +632,23 @@ func (s *Store) Stats() Stats {
 		sh.mu.RUnlock()
 	}
 	st.RawBytes = st.Samples * 16
+	st.WALSegments, st.WALBytes = s.WALStats()
+	st.LastSnapshotUnix = s.lastSnapUnix.Load()
 	return st
 }
+
+// WALStats returns the live WAL segment count and total bytes (0, 0 for
+// in-memory stores).
+func (s *Store) WALStats() (segments int, bytes int64) {
+	if s.wal == nil {
+		return 0, 0
+	}
+	return s.wal.SegmentStats()
+}
+
+// LastSnapshotUnix returns the wall-clock second the latest snapshot
+// completed in this process, or 0 if none has.
+func (s *Store) LastSnapshotUnix() int64 { return s.lastSnapUnix.Load() }
 
 // Within returns meter IDs inside a geographic box.
 func (s *Store) Within(box geo.BBox) []int64 { return s.catalog.Within(box) }
@@ -539,18 +660,59 @@ func (s *Store) Near(p geo.Point, k int) []index.Neighbor { return s.catalog.Nea
 
 var snapMagic = [4]byte{'V', 'A', 'P', 'S'}
 
-// Snapshot atomically writes the full dataset to Dir/snapshot.vap and
-// truncates the WAL. It is a no-op error for in-memory stores. Every shard
-// is locked for the duration, so the snapshot is point-in-time consistent.
+// snapEntry is one meter's captured state: metadata, the sample count at
+// capture time, and a point-in-time iterator (immutable sealed chunks plus
+// a private head copy — the same mechanism Store.Iter uses), so the disk
+// write needs no locks at all.
+type snapEntry struct {
+	m     Meter
+	count int
+	it    *SeriesIter
+}
+
+// Snapshot atomically writes the full dataset to Dir/snapshot.vap without
+// blocking writers: it cuts a WAL watermark, captures per-shard iterator
+// snapshots under brief read locks, then streams the capture to disk while
+// appends proceed. After the fsync'd temp file is renamed into place the
+// directory itself is fsynced — only then are the WAL segments fully
+// covered by the watermark deleted, so a crash at any point leaves either
+// the old snapshot with the full log or the new snapshot with the suffix.
+// It is a no-op error for in-memory stores. Concurrent Snapshot calls and
+// Close serialize on snapMu.
 func (s *Store) Snapshot() error {
-	s.lockAll()
-	defer s.unlockAll()
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
 	if s.closed.Load() {
 		return ErrClosed
 	}
 	if s.opts.Dir == "" {
-		return fmt.Errorf("store: snapshot requires a durability directory")
+		return ErrNoDurability
 	}
+	// Watermark first: every record enqueued before the cut lives in a
+	// segment below it, and each such record's in-memory apply happened in
+	// the same shard-lock critical section as its enqueue — so the capture
+	// below (which takes each shard lock) observes all of them.
+	var watermark uint64
+	if s.wal != nil {
+		var err error
+		if watermark, err = s.wal.CutSegment(); err != nil {
+			return err
+		}
+	}
+	var entries []snapEntry
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for id, ser := range sh.series {
+			m, ok := s.catalog.Get(id)
+			if !ok {
+				continue
+			}
+			entries = append(entries, snapEntry{m: m, count: ser.Len(), it: ser.Iter(minInt64, maxInt64)})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].m.ID < entries[j].m.ID })
+
 	tmp := filepath.Join(s.opts.Dir, "snapshot.vap.tmp")
 	final := filepath.Join(s.opts.Dir, "snapshot.vap")
 	f, err := os.Create(tmp)
@@ -558,7 +720,7 @@ func (s *Store) Snapshot() error {
 		return err
 	}
 	w := bufio.NewWriterSize(f, 1<<16)
-	if err := s.writeSnapshot(w); err != nil {
+	if err := writeSnapshot(w, entries); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -580,36 +742,46 @@ func (s *Store) Snapshot() error {
 	if err := os.Rename(tmp, final); err != nil {
 		return err
 	}
+	// The rename is only durable once the directory entry is; fsync it
+	// before touching the WAL, or a crash here could leave neither a
+	// reachable snapshot nor the log records it replaced.
+	if err := syncDir(s.opts.Dir); err != nil {
+		return err
+	}
+	// The snapshot is durable from here on: record it before retiring the
+	// covered segments, so a cleanup failure does not masquerade as a
+	// failed (and stats-wise stale) snapshot. The next snapshot retries
+	// any segment that could not be removed.
+	s.lastSnapUnix.Store(time.Now().Unix())
 	if s.wal != nil {
-		s.walMu.Lock()
-		defer s.walMu.Unlock()
-		return s.wal.Truncate()
+		if err := s.wal.DeleteSegmentsBelow(watermark); err != nil {
+			return fmt.Errorf("store: snapshot is durable, but retiring covered WAL segments failed: %w", err)
+		}
 	}
 	return nil
 }
 
 // writeSnapshot serializes: magic, meter count, meters, then per-meter
 // sample runs (count + raw samples) with a trailing CRC of everything.
-// Callers hold every shard lock.
-func (s *Store) writeSnapshot(w io.Writer) error {
+// It reads only the captured entries — no store locks are held.
+func writeSnapshot(w io.Writer, entries []snapEntry) error {
 	crc := crc32.NewIEEE()
 	mw := io.MultiWriter(w, crc)
 	if _, err := mw.Write(snapMagic[:]); err != nil {
 		return err
 	}
-	meters := s.catalog.All()
-	if err := binary.Write(mw, binary.LittleEndian, uint32(len(meters))); err != nil {
+	if err := binary.Write(mw, binary.LittleEndian, uint32(len(entries))); err != nil {
 		return err
 	}
-	for _, m := range meters {
-		zone := []byte(m.Zone)
-		if err := binary.Write(mw, binary.LittleEndian, m.ID); err != nil {
+	for _, e := range entries {
+		zone := []byte(e.m.Zone)
+		if err := binary.Write(mw, binary.LittleEndian, e.m.ID); err != nil {
 			return err
 		}
-		if err := binary.Write(mw, binary.LittleEndian, m.Location.Lon); err != nil {
+		if err := binary.Write(mw, binary.LittleEndian, e.m.Location.Lon); err != nil {
 			return err
 		}
-		if err := binary.Write(mw, binary.LittleEndian, m.Location.Lat); err != nil {
+		if err := binary.Write(mw, binary.LittleEndian, e.m.Location.Lat); err != nil {
 			return err
 		}
 		if err := binary.Write(mw, binary.LittleEndian, uint16(len(zone))); err != nil {
@@ -618,25 +790,25 @@ func (s *Store) writeSnapshot(w io.Writer) error {
 		if _, err := mw.Write(zone); err != nil {
 			return err
 		}
-		ser := s.shardFor(m.ID).series[m.ID]
-		var samples []Sample
-		if ser != nil {
-			var err error
-			samples, err = ser.All()
-			if err != nil {
-				return err
-			}
-		}
-		if err := binary.Write(mw, binary.LittleEndian, uint32(len(samples))); err != nil {
+		if err := binary.Write(mw, binary.LittleEndian, uint32(e.count)); err != nil {
 			return err
 		}
-		for _, smp := range samples {
+		written := 0
+		for e.it.Next() {
+			smp := e.it.Sample()
 			if err := binary.Write(mw, binary.LittleEndian, smp.TS); err != nil {
 				return err
 			}
 			if err := binary.Write(mw, binary.LittleEndian, smp.Value); err != nil {
 				return err
 			}
+			written++
+		}
+		if err := e.it.Err(); err != nil {
+			return err
+		}
+		if written != e.count {
+			return fmt.Errorf("store: snapshot of meter %d yielded %d samples, expected %d", e.m.ID, written, e.count)
 		}
 	}
 	var tail [4]byte

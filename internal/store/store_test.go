@@ -293,13 +293,12 @@ func TestStoreSnapshotAndReopen(t *testing.T) {
 	if err := st.Snapshot(); err != nil {
 		t.Fatal(err)
 	}
-	// WAL must be truncated after a snapshot.
-	walInfo, err := os.Stat(filepath.Join(dir, "wal.log"))
-	if err != nil {
-		t.Fatal(err)
+	// Covered segments must be deleted after a snapshot: one bare tail left.
+	if segs, bytes := st.WALStats(); segs != 1 || bytes > 16 {
+		t.Errorf("wal after snapshot = %d segments / %d bytes, want 1 bare tail", segs, bytes)
 	}
-	if walInfo.Size() > 16 {
-		t.Errorf("wal size after snapshot = %d, want header only", walInfo.Size())
+	if st.Stats().LastSnapshotUnix == 0 {
+		t.Error("snapshot did not record its completion time")
 	}
 	// Post-snapshot appends land in the WAL.
 	_ = st.Append(1, Sample{TS: 100 * 60, Value: 999})
@@ -353,8 +352,8 @@ func TestWALTornTailIgnored(t *testing.T) {
 		_ = st.Append(1, Sample{TS: int64(i), Value: float64(i)})
 	}
 	_ = st.Close()
-	// Truncate the WAL mid-record to simulate a crash during write.
-	path := filepath.Join(dir, "wal.log")
+	// Truncate the tail segment mid-record to simulate a crash during write.
+	path := tailSegmentPath(t, dir)
 	info, err := os.Stat(path)
 	if err != nil {
 		t.Fatal(err)
@@ -375,12 +374,19 @@ func TestWALTornTailIgnored(t *testing.T) {
 
 func TestWALRejectsForeignFile(t *testing.T) {
 	dir := t.TempDir()
-	path := filepath.Join(dir, "wal.log")
-	if err := os.WriteFile(path, []byte("not a wal at all"), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, segmentName(1)), []byte("not a wal at all"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenWAL(path); err == nil {
-		t.Error("foreign file should be rejected")
+	if _, err := OpenWAL(dir, walOptions{}); err == nil {
+		t.Error("foreign segment file should be rejected")
+	}
+	// Same through the legacy single-file migration path.
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, legacyWALName), []byte("not a wal at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWAL(dir2, walOptions{}); err == nil {
+		t.Error("foreign legacy wal.log should be rejected")
 	}
 }
 
@@ -433,16 +439,47 @@ func TestStoreSyncEveryAppend(t *testing.T) {
 	if err := st.Append(1, Sample{TS: 1, Value: 2}); err != nil {
 		t.Fatal(err)
 	}
-	// Without Close, the record must already be on disk (synced).
-	st2Path := filepath.Join(dir, "wal.log")
-	info, err := os.Stat(st2Path)
+	// Without Close, the records must already be on disk: replay a copy of
+	// the live segment and count what a crash right now would recover.
+	meters, samples := replayDirCounts(t, dir)
+	if meters != 1 || samples != 1 {
+		t.Errorf("on-disk after sync append: %d meters / %d samples, want 1/1", meters, samples)
+	}
+	_ = st.Close()
+}
+
+// tailSegmentPath returns the highest-numbered WAL segment in dir.
+func tailSegmentPath(t *testing.T, dir string) string {
+	t.Helper()
+	idxs, err := listSegments(dir)
+	if err != nil || len(idxs) == 0 {
+		t.Fatalf("no WAL segments in %s (err=%v)", dir, err)
+	}
+	return filepath.Join(dir, segmentName(idxs[len(idxs)-1]))
+}
+
+// replayDirCounts scans every segment in dir (torn-tail tolerant, like
+// recovery would) and returns the record counts.
+func replayDirCounts(t *testing.T, dir string) (meters, samples int) {
+	t.Helper()
+	idxs, err := listSegments(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if info.Size() <= 4 {
-		t.Errorf("wal not synced: size = %d", info.Size())
+	for i, idx := range idxs {
+		path := filepath.Join(dir, segmentName(idx))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = scanSegment(path, data, i == len(idxs)-1,
+			func(Meter) error { meters++; return nil },
+			func(int64, Sample) error { samples++; return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
-	_ = st.Close()
+	return meters, samples
 }
 
 func TestStoreVersionBumpsOnMutation(t *testing.T) {

@@ -28,13 +28,32 @@ type DataVersion struct {
 	Fingerprint uint64 `json:"fingerprint"`
 }
 
-// Event is one batch of readings that became visible at Seq.
+// Event kinds: the SSE event name subscribers filter on.
+const (
+	// KindIngest is a replayed ingest batch carrying the updated density
+	// state. (Wire name "density" — the event the UI's live map listens
+	// to since the first streaming release.)
+	KindIngest = "density"
+	// KindSnapshot announces a completed durability snapshot: the store
+	// persisted its state and retired the covered WAL segments.
+	KindSnapshot = "snapshot"
+)
+
+// Event is one hub broadcast: an ingest batch that became visible at Seq,
+// or a durability snapshot announcement.
 type Event struct {
+	// Kind discriminates the event (KindIngest, KindSnapshot); empty is
+	// KindIngest for wire compatibility with pre-snapshot-event payloads.
+	Kind     string         `json:"kind,omitempty"`
 	Seq      int64          `json:"seq"`
 	DataTime int64          `json:"data_time"` // timestamp of the replayed slice
 	Count    int            `json:"count"`     // readings in the batch
 	Snapshot *kde.Field     `json:"-"`         // current density map
 	Summary  DensitySummary `json:"summary"`
+	// WALSegments/WALBytes report the live log footprint after a snapshot
+	// retired its covered segments (KindSnapshot only).
+	WALSegments int   `json:"wal_segments,omitempty"`
+	WALBytes    int64 `json:"wal_bytes,omitempty"`
 	// DataVersion is the store's data version after this batch landed.
 	// Subscribers holding results keyed to an older version (the exec
 	// layer's cache keys) know those are stale the moment they see a
@@ -292,7 +311,7 @@ func (r *Replayer) Run(ctx context.Context, feeds []Feed, from, to int64) (int, 
 			if r.St != nil {
 				ver = DataVersion{Global: r.St.Version(), Fingerprint: r.St.GlobalFingerprint()}
 			}
-			r.Hub.Publish(Event{Seq: seq, DataTime: lastTS, Count: batch, Snapshot: snap, Summary: sum, DataVersion: ver})
+			r.Hub.Publish(Event{Kind: KindIngest, Seq: seq, DataTime: lastTS, Count: batch, Snapshot: snap, Summary: sum, DataVersion: ver})
 		}
 		if ticker != nil {
 			select {

@@ -51,8 +51,27 @@ import (
 // Store is the embedded spatio-temporal database.
 type Store = store.Store
 
-// StoreOptions configures durability.
+// StoreOptions configures durability: Dir selects the data directory,
+// SyncEveryAppend makes appends wait for their group commit (a nil return
+// means the sample is fsynced), SegmentBytes sets the WAL rotation
+// threshold, and CommitInterval the group-commit cadence.
 type StoreOptions = store.Options
+
+// Durability defaults (used when the corresponding StoreOptions field is
+// zero).
+const (
+	// DefaultSegmentBytes is the WAL segment rotation threshold (64 MiB).
+	DefaultSegmentBytes = store.DefaultSegmentBytes
+	// DefaultCommitInterval is the background group-commit flush cadence.
+	DefaultCommitInterval = store.DefaultCommitInterval
+)
+
+// WALCorruptError reports interior WAL corruption found during recovery: a
+// malformed record with valid records after it, which is reported loudly
+// (with segment path and byte offset) rather than silently dropping the
+// acknowledged records that follow. A torn tail — a crash mid-write with
+// nothing valid after it — is repaired automatically instead.
+type WALCorruptError = store.CorruptError
 
 // Meter is customer metadata (location, zone).
 type Meter = store.Meter
