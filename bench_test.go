@@ -26,6 +26,7 @@ import (
 	"vap/internal/reduce"
 	"vap/internal/store"
 	"vap/internal/stream"
+	"vap/internal/vql"
 )
 
 // benchData lazily builds one shared dataset + store for all benchmarks.
@@ -296,6 +297,46 @@ func BenchmarkVQLEndToEnd(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkVQLExec pairs the retained scalar reference executor against
+// the vectorized executor on the same compiled plan and resolved meter
+// set (memoization bypassed on both sides) — the apples-to-apples
+// measurement of the batch-execution speedup, robust to machine noise
+// because both sides run under the same conditions.
+func BenchmarkVQLExec(b *testing.B) {
+	setupBench(b)
+	ctx := context.Background()
+	q, err := vql.Parse(`SELECT bucket(daily) AS day, mean(value) AS avg_kwh, count(*)
+		FROM meters WHERE zone = 'residential'
+		GROUP BY bucket(daily) ORDER BY avg_kwh DESC LIMIT 14`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := vql.Compile(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := benchData.an.Engine()
+	ids, err := vql.ResolveScanMeters(eng, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	from, to, ok := p.ResolveWindow(eng.Store())
+	run := func(b *testing.B, execFn func(context.Context, *query.Engine, *vql.Plan, []int64, int64, int64, bool) (*vql.Result, error)) {
+		b.ReportAllocs()
+		samples := 0
+		for i := 0; i < b.N; i++ {
+			res, err := execFn(ctx, eng, p, ids, from, to, ok)
+			if err != nil {
+				b.Fatal(err)
+			}
+			samples = res.Samples
+		}
+		b.ReportMetric(float64(samples)*float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
+	}
+	b.Run("Scalar", func(b *testing.B) { run(b, vql.ExecuteResolvedScalar) })
+	b.Run("Vectorized", func(b *testing.B) { run(b, vql.ExecuteResolved) })
 }
 
 // BenchmarkKMeans is E5 (S1 step 4).

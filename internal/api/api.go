@@ -52,6 +52,7 @@ func (s *Server) Routes() *http.ServeMux {
 	mux.HandleFunc("/api/patterns", s.handlePatterns)
 	mux.HandleFunc("/api/flow", s.handleFlow)
 	mux.HandleFunc("/api/stats", s.handleStats)
+	mux.HandleFunc("/api/stats/series", s.handleSeriesStats)
 	mux.HandleFunc("/api/admin/snapshot", s.handleAdminSnapshot)
 	mux.HandleFunc("/api/exec", s.handleExec)
 	mux.HandleFunc("/api/query", s.handleQuery)
@@ -216,6 +217,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"wal_bytes":             st.WALBytes,
 		"last_snapshot_unix":    st.LastSnapshotUnix,
 		"last_snapshot_age_sec": snapAge,
+	})
+}
+
+// handleSeriesStats returns the per-series statistics the cost-based VQL
+// planner reads (sample/block counts, time bounds, compressed footprint,
+// version), filtered by the standard selection parameters (ids, zone,
+// bbox). Stats come from append-time chunk metadata, so the endpoint never
+// decodes data — it is cheap enough to poll.
+func (s *Server) handleSeriesStats(w http.ResponseWriter, r *http.Request) {
+	sel, err := parseSelection(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ids, err := s.an.Engine().ResolveMeters(sel)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	stats := s.an.Store().SeriesStats(ids)
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"count":        len(stats),
+		"series":       stats,
+		"data_version": s.dataVersion(),
 	})
 }
 

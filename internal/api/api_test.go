@@ -84,6 +84,50 @@ func TestStats(t *testing.T) {
 	}
 }
 
+// TestSeriesStats checks the planner-statistics endpoint: per-series
+// sample/block counts and bounds for an explicit meter selection, without
+// decoding any data.
+func TestSeriesStats(t *testing.T) {
+	srv, ds := newTestServer(t, nil)
+	id := ds.Customers[0].Meter.ID
+	var got struct {
+		Count  int                 `json:"count"`
+		Series []store.SeriesStats `json:"series"`
+	}
+	if code := getJSON(t, fmt.Sprintf("%s/api/stats/series?ids=%d", srv.URL, id), &got); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if got.Count != 1 || len(got.Series) != 1 {
+		t.Fatalf("count = %d, series = %d, want 1", got.Count, len(got.Series))
+	}
+	st := got.Series[0]
+	if st.MeterID != id {
+		t.Errorf("meter_id = %d, want %d", st.MeterID, id)
+	}
+	if st.Samples != 20*24 { // Days * hourly samples
+		t.Errorf("samples = %d, want %d", st.Samples, 20*24)
+	}
+	if st.Blocks == 0 || st.CompressedBytes == 0 {
+		t.Errorf("blocks = %d, compressed = %d, want > 0", st.Blocks, st.CompressedBytes)
+	}
+	if st.MinTS >= st.MaxTS {
+		t.Errorf("bounds [%d, %d] not ascending", st.MinTS, st.MaxTS)
+	}
+
+	// Unfiltered: one entry per registered meter.
+	if code := getJSON(t, srv.URL+"/api/stats/series", &got); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if got.Count != len(ds.Customers) {
+		t.Errorf("count = %d, want %d", got.Count, len(ds.Customers))
+	}
+
+	// Malformed selection is a 400, not a silent full scan.
+	if code := getJSON(t, srv.URL+"/api/stats/series?bbox=1,2,3", nil); code != 400 {
+		t.Errorf("bad bbox status = %d, want 400", code)
+	}
+}
+
 func postJSON(t *testing.T, url string, out interface{}) int {
 	t.Helper()
 	resp, err := http.Post(url, "application/json", nil)

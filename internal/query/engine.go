@@ -215,9 +215,13 @@ func (e *Engine) TotalByMeterCtx(ctx context.Context, sel Selection) (map[int64]
 		if err != nil {
 			return err
 		}
+		b := store.GetBatch()
+		defer store.PutBatch(b)
 		s := 0.0
-		for it.Next() {
-			s += it.Sample().Value
+		for it.NextBatch(b) {
+			for _, v := range b.Val {
+				s += v
+			}
 		}
 		if err := it.Err(); err != nil {
 			return err
@@ -300,10 +304,14 @@ func (e *Engine) DemandSnapshotCtx(ctx context.Context, sel Selection, from, to 
 		if err != nil {
 			return err
 		}
+		b := store.GetBatch()
+		defer store.PutBatch(b)
 		sum, n := 0.0, 0
-		for it.Next() {
-			sum += it.Sample().Value
-			n++
+		for it.NextBatch(b) {
+			for _, v := range b.Val {
+				sum += v
+			}
+			n += b.Len()
 		}
 		if err := it.Err(); err != nil {
 			return err

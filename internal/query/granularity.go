@@ -7,6 +7,7 @@ package query
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"vap/internal/store"
@@ -172,13 +173,18 @@ func (s *sliceIter) Sample() store.Sample { return s.samples[s.i-1] }
 func (s *sliceIter) Err() error           { return nil }
 
 // AggregateIter buckets a time-ordered sample stream by granularity and
-// combines each bucket with fn, consuming one sample at a time so callers
-// never hold a full decoded series in memory.
+// combines each bucket with fn, never holding a full decoded series in
+// memory. Store iterators take the vectorized batch-decode path; other
+// SampleIter implementations fall back to one sample at a time. Both paths
+// fold in identical order, so results are bit-for-bit the same.
 func AggregateIter(it SampleIter, g Granularity, fn AggFunc) ([]Bucket, error) {
 	switch fn {
 	case AggSum, AggMean, AggMax, AggMin:
 	default:
 		return nil, fmt.Errorf("query: unknown aggregate %q", fn)
+	}
+	if sit, ok := it.(*store.SeriesIter); ok {
+		return aggregateBatch(sit, g, fn)
 	}
 	var out []Bucket
 	for it.Next() {
@@ -201,6 +207,72 @@ func AggregateIter(it SampleIter, g Granularity, fn AggFunc) ([]Bucket, error) {
 			b.Count++
 		} else {
 			out = append(out, Bucket{Start: start, Value: s.Value, Count: 1})
+		}
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	if fn == AggMean {
+		for i := range out {
+			out[i].Value /= float64(out[i].Count)
+		}
+	}
+	return out, nil
+}
+
+// aggregateBatch is AggregateIter's vectorized body: whole Gorilla blocks
+// decode into a columnar batch, bucket runs are found by scanning the
+// sorted timestamp array (Truncate/Next run once per bucket, not per
+// sample), and each run folds in a tight loop over the value column. The
+// fold order matches the scalar path exactly — same seeding of the first
+// sample, same left-to-right summation — so the two paths agree to the
+// last bit, NaN propagation included.
+func aggregateBatch(it *store.SeriesIter, g Granularity, fn AggFunc) ([]Bucket, error) {
+	var out []Bucket
+	b := store.GetBatch()
+	defer store.PutBatch(b)
+	bEnd := int64(math.MinInt64)
+	for it.NextBatch(b) {
+		ts, vals := b.TS, b.Val
+		k := 0
+		for k < len(ts) {
+			if ts[k] >= bEnd {
+				bEnd = g.Next(ts[k])
+				out = append(out, Bucket{Start: g.Truncate(ts[k]), Value: vals[k], Count: 1})
+				k++
+				continue
+			}
+			r := k + 1
+			for r < len(ts) && ts[r] < bEnd {
+				r++
+			}
+			bkt := &out[len(out)-1]
+			switch fn {
+			case AggSum, AggMean:
+				s := bkt.Value
+				for _, v := range vals[k:r] {
+					s += v
+				}
+				bkt.Value = s
+			case AggMax:
+				m := bkt.Value
+				for _, v := range vals[k:r] {
+					if v > m {
+						m = v
+					}
+				}
+				bkt.Value = m
+			case AggMin:
+				m := bkt.Value
+				for _, v := range vals[k:r] {
+					if v < m {
+						m = v
+					}
+				}
+				bkt.Value = m
+			}
+			bkt.Count += r - k
+			k = r
 		}
 	}
 	if err := it.Err(); err != nil {

@@ -91,6 +91,38 @@ func FuzzGorillaRoundTrip(f *testing.F) {
 			}
 		}
 
+		// Batch-decode leg: the vectorized blockReader must reproduce the
+		// scalar decode bit-for-bit over the same payload.
+		{
+			br := newBlockReader(payload, len(want))
+			batch := NewBatch()
+			i := 0
+			for !br.done() {
+				batch.Reset()
+				if br.decodeInto(batch) == 0 {
+					break
+				}
+				for k := range batch.TS {
+					if i >= len(want) {
+						t.Fatalf("batch decode overran: %d samples, want %d", i+1, len(want))
+					}
+					if batch.TS[k] != want[i].TS ||
+						math.Float64bits(batch.Val[k]) != math.Float64bits(want[i].Value) {
+						t.Fatalf("batch sample %d = (%d, %#x), want (%d, %#x)",
+							i, batch.TS[k], math.Float64bits(batch.Val[k]),
+							want[i].TS, math.Float64bits(want[i].Value))
+					}
+					i++
+				}
+			}
+			if br.err != nil {
+				t.Fatalf("batch decode of a valid payload: %v", br.err)
+			}
+			if i != len(want) {
+				t.Fatalf("batch decode yielded %d samples, want %d", i, len(want))
+			}
+		}
+
 		// Count mismatches: the stored count is authoritative (chunk
 		// metadata is CRC-protected), and the final byte's <8 padding bits
 		// can legally decode as a few phantom 2-bit samples — but a count
@@ -106,10 +138,25 @@ func FuzzGorillaRoundTrip(f *testing.F) {
 		}
 
 		// Arbitrary bytes as a payload (corrupt chunk on disk): any error
-		// is fine, panics and runaway allocation are not.
+		// is fine, panics and runaway allocation are not — on both the
+		// scalar and the batch decoder.
 		for _, n := range []int{0, 1, len(data), len(data) * 8, 1 << 30} {
 			if out, err := Decode(data, n); err == nil && len(out) != n {
 				t.Fatalf("raw decode n=%d returned %d samples without error", n, len(out))
+			}
+			br := newBlockReader(data, n)
+			batch := NewBatch()
+			total := 0
+			for !br.done() {
+				batch.Reset()
+				got := br.decodeInto(batch)
+				total += got
+				if got == 0 && !br.done() {
+					t.Fatalf("raw batch decode n=%d stalled at %d samples", n, total)
+				}
+			}
+			if br.err == nil && total != n {
+				t.Fatalf("raw batch decode n=%d yielded %d samples without error", n, total)
 			}
 		}
 	})

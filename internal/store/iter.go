@@ -19,7 +19,9 @@ type iterSegment struct {
 // appends. It is not safe for concurrent use by multiple goroutines.
 type SeriesIter struct {
 	segs     []iterSegment
-	cur      *Iterator
+	cur      *Iterator   // scalar (Next) decode position
+	curB     blockReader // vectorized (NextBatch) decode position
+	inBlock  bool        // curB holds a partially decoded block
 	from, to int64
 	smp      Sample
 	err      error

@@ -526,6 +526,31 @@ func (s *Store) MeterVersions(ids []int64) []uint64 {
 	return vers
 }
 
+// SeriesStats returns the per-series statistics of ids, aligned by index
+// (zero-valued entries, with MeterID preserved, for unknown meters).
+// Lookups are grouped so each shard is locked at most once; everything
+// returned is append-time metadata, so the call never decodes a block.
+// This is the statistics surface the VQL cost-based planner reads.
+func (s *Store) SeriesStats(ids []int64) []SeriesStats {
+	stats := make([]SeriesStats, len(ids))
+	byShard := make(map[*shard][]int, len(s.shards))
+	for i, id := range ids {
+		stats[i].MeterID = id
+		sh := s.shardFor(id)
+		byShard[sh] = append(byShard[sh], i)
+	}
+	for sh, idxs := range byShard {
+		sh.mu.RLock()
+		for _, i := range idxs {
+			if ser, ok := sh.series[ids[i]]; ok {
+				stats[i] = ser.Stats()
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return stats
+}
+
 // Fingerprint hashes the (id, per-meter version) pairs of ids into one
 // selection-scoped version: it changes iff one of those meters mutates (or
 // the set itself changes), so execution-layer caches keyed on it survive

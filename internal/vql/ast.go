@@ -44,26 +44,31 @@ type Expr interface {
 // AggFn names a supported aggregate function.
 type AggFn string
 
-// Supported aggregate functions. AggCount counts samples; the others fold
-// sample values.
+// Supported aggregate functions. AggCount (count(*)) counts every row,
+// NaN readings included; AggCountValue (count(value)) counts only finite
+// samples; the others fold sample values.
 const (
-	AggSum   AggFn = "sum"
-	AggMean  AggFn = "mean"
-	AggMin   AggFn = "min"
-	AggMax   AggFn = "max"
-	AggCount AggFn = "count"
+	AggSum        AggFn = "sum"
+	AggMean       AggFn = "mean"
+	AggMin        AggFn = "min"
+	AggMax        AggFn = "max"
+	AggCount      AggFn = "count"
+	AggCountValue AggFn = "count_value"
 )
 
 // AggExpr is an aggregate call: sum(value), mean(value), min(value),
-// max(value), count(*).
+// max(value), count(*), count(value).
 type AggExpr struct {
 	Fn  AggFn
 	Pos Pos
 }
 
 func (a AggExpr) String() string {
-	if a.Fn == AggCount {
+	switch a.Fn {
+	case AggCount:
 		return "count(*)"
+	case AggCountValue:
+		return "count(value)"
 	}
 	return string(a.Fn) + "(value)"
 }

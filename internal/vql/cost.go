@@ -1,0 +1,152 @@
+package vql
+
+import (
+	"vap/internal/query"
+	"vap/internal/store"
+)
+
+// GroupStrategy names the physical grouping layout the planner chose for a
+// scan.
+type GroupStrategy string
+
+const (
+	// GroupSingle: no bucket key — one aggregate state per (meter, zone)
+	// base key, whole batches fold in one kernel call.
+	GroupSingle GroupStrategy = "single"
+	// GroupDense: bucket starts are enumerable from the window and the
+	// granularity, so each worker aggregates into a bucket-indexed array
+	// with precomputed boundaries — no hashing and no per-sample Truncate
+	// on the hot path.
+	GroupDense GroupStrategy = "dense"
+	// GroupMap: bucket count is unknown or too large for an array; groups
+	// hash on the bucket start, still one lookup per bucket run rather
+	// than per sample.
+	GroupMap GroupStrategy = "map"
+)
+
+// maxDenseBuckets caps the dense path's per-worker array. Beyond this the
+// array itself starts to out-weigh hashing (40 B of aggregate state per
+// bucket, mostly empty for sparse series), so the planner falls back to
+// GroupMap.
+const maxDenseBuckets = 1 << 16
+
+// minSamplesPerWorker is the fan-out floor: a goroutine (plus its batch
+// scratch) is only worth spinning up when it has at least this many samples
+// to decode.
+const minSamplesPerWorker = 8192
+
+// ScanCost is the planner's statistics-driven estimate for one resolved
+// scan, and the physical choices derived from it. Estimates come from
+// append-time chunk metadata (store.SeriesStats) — computing them never
+// decodes data.
+type ScanCost struct {
+	Meters     int   // meters the selection resolved to
+	EstSamples int64 // window-overlap estimate of samples to decode
+	EstBlocks  int64 // compressed blocks touched
+	EstBytes   int64 // compressed bytes touched
+
+	Strategy GroupStrategy
+	Buckets  int // dense bucket count (0 unless Strategy == GroupDense)
+	Workers  int // chosen fan-out width
+	Chunks   int // contiguous meter chunks handed to workers
+}
+
+// planScan estimates the cost of scanning ids over [from, to) from
+// per-series stats and picks the grouping strategy and parallelism degree.
+// The returned bounds are the dense path's ascending bucket starts (nil for
+// the other strategies).
+func planScan(p *Plan, stats []store.SeriesStats, from, to int64, engineWorkers int) (ScanCost, []int64) {
+	c := ScanCost{Meters: len(stats)}
+	for _, s := range stats {
+		if s.Samples == 0 || s.MaxTS < from || s.MinTS >= to {
+			continue
+		}
+		// Fraction of the series extent the window covers, assuming samples
+		// spread evenly across [MinTS, MaxTS] — exact for the regular feeds
+		// meters produce, a safe overestimate for bursty ones.
+		olo, ohi := s.MinTS, s.MaxTS
+		if from > olo {
+			olo = from
+		}
+		if to-1 < ohi {
+			ohi = to - 1
+		}
+		frac := 1.0
+		if span := s.MaxTS - s.MinTS; span > 0 {
+			frac = float64(ohi-olo+1) / float64(span+1)
+		}
+		es := int64(frac*float64(s.Samples) + 0.5)
+		eb := int64(frac*float64(s.Blocks) + 0.5)
+		ebytes := int64(frac*float64(s.CompressedBytes) + 0.5)
+		if eb < 1 {
+			eb = 1 // an overlapping series decodes at least one block
+		}
+		c.EstSamples += es
+		c.EstBlocks += eb
+		c.EstBytes += ebytes
+	}
+
+	var bounds []int64
+	if !p.hasBucket {
+		c.Strategy = GroupSingle
+	} else if bounds = bucketBounds(p.Granularity(), from, to, maxDenseBuckets); bounds != nil {
+		c.Strategy = GroupDense
+		c.Buckets = len(bounds)
+	} else {
+		c.Strategy = GroupMap
+	}
+
+	w := engineWorkers
+	if w > c.Meters {
+		w = c.Meters
+	}
+	// Don't fan out further than the data pays for: each extra worker must
+	// have a full quantum of samples to chew on.
+	if maxUseful := int(c.EstSamples/minSamplesPerWorker) + 1; w > maxUseful {
+		w = maxUseful
+	}
+	if w < 1 {
+		w = 1
+	}
+	c.Workers = w
+	// Chunks over-partition by 4x so ForEach's dynamic cursor can rebalance
+	// skewed meters; single-worker scans run as one inline chunk.
+	c.Chunks = w * 4
+	if w == 1 {
+		c.Chunks = 1
+	}
+	if c.Chunks > c.Meters {
+		c.Chunks = c.Meters
+	}
+	if c.Chunks < 1 {
+		c.Chunks = 1
+	}
+	return c, bounds
+}
+
+// bucketBounds enumerates the ascending bucket starts covering [from, to),
+// or nil when the count would exceed maxBuckets (or cannot be bounded).
+// Works for calendar granularities too — the walk uses Truncate/Next, the
+// same functions the scalar path buckets with.
+func bucketBounds(g query.Granularity, from, to int64, maxBuckets int) []int64 {
+	if to <= from {
+		return nil
+	}
+	// Cheap width-based bound before walking: catches "whole extent at
+	// hourly" class windows without iterating. Unsigned subtraction is
+	// overflow-safe for any from < to.
+	if span := uint64(to) - uint64(from); span/uint64(g.ApproxSeconds()) > uint64(maxBuckets) {
+		return nil
+	}
+	bounds := make([]int64, 0, (to-from)/g.ApproxSeconds()+2)
+	for t := g.Truncate(from); t < to; t = g.Next(t) {
+		if len(bounds) >= maxBuckets {
+			return nil
+		}
+		bounds = append(bounds, t)
+	}
+	if len(bounds) == 0 {
+		return nil
+	}
+	return bounds
+}

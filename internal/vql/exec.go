@@ -9,9 +9,10 @@
 //
 // down to the data layer's existing primitives. WHERE predicates lower
 // into query.Selection (so selection-scoped version fingerprints keep VQL
-// results cacheable), aggregates stream through the store's pushdown
-// iterators without materializing full series, and multi-meter plans fan
-// out across workers with context cancellation.
+// results cacheable), aggregates run over the store's vectorized batch
+// decoder through grouping kernels a statistics-driven cost model picks
+// per query, and multi-meter plans fan out across workers with context
+// cancellation.
 package vql
 
 import (
@@ -34,7 +35,9 @@ func geoBox(pr BBoxPred) geo.BBox {
 
 // Result is one executed query: column names aligned with row cells.
 // Cell types are int64 (bucket starts, meter IDs, counts), float64
-// (aggregates), or string (zones).
+// (aggregates), or string (zones). Aggregates that fold to a non-finite
+// value (stored NaN/±Inf, overflow) surface as null — every cell is
+// JSON-encodable.
 type Result struct {
 	Columns []string `json:"columns"`
 	Rows    [][]any  `json:"rows"`
@@ -84,10 +87,13 @@ type groupKey struct {
 }
 
 // aggState folds one group's samples. All aggregate functions share one
-// state so a select list mixing sum/mean/min/max/count scans once.
+// state so a select list mixing sum/mean/min/max/count scans once. NaN
+// samples are counted but never folded: a single bad reading must not
+// poison a bucket's sum (and count(*) still counts the row).
 type aggState struct {
 	sum      float64
-	count    int64
+	count    int64 // finite samples folded
+	nan      int64 // NaN samples skipped
 	min, max float64
 }
 
@@ -96,6 +102,10 @@ func newAggState() *aggState {
 }
 
 func (a *aggState) add(v float64) {
+	if v != v { // NaN
+		a.nan++
+		return
+	}
 	a.sum += v
 	a.count++
 	if v < a.min {
@@ -106,9 +116,48 @@ func (a *aggState) add(v float64) {
 	}
 }
 
+// foldVals is the batch kernel: one run of values from a decoded batch,
+// folded with the same per-sample order the scalar add uses (sums stay
+// bit-identical between the two executors).
+func (a *aggState) foldVals(vals []float64) {
+	sum, mn, mx := a.sum, a.min, a.max
+	n, nan := a.count, a.nan
+	for _, v := range vals {
+		if v != v {
+			nan++
+			continue
+		}
+		sum += v
+		n++
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	a.sum, a.count, a.nan, a.min, a.max = sum, n, nan, mn, mx
+}
+
+// foldSum is the min/max-free kernel for plans whose aggregates are only
+// sum/mean/count — one compare and one add per sample.
+func (a *aggState) foldSum(vals []float64) {
+	sum, n, nan := a.sum, a.count, a.nan
+	for _, v := range vals {
+		if v != v {
+			nan++
+			continue
+		}
+		sum += v
+		n++
+	}
+	a.sum, a.count, a.nan = sum, n, nan
+}
+
 func (a *aggState) merge(b *aggState) {
 	a.sum += b.sum
 	a.count += b.count
+	a.nan += b.nan
 	if b.min < a.min {
 		a.min = b.min
 	}
@@ -117,30 +166,55 @@ func (a *aggState) merge(b *aggState) {
 	}
 }
 
+// finiteOrNull maps non-finite aggregate results to null: NaN and ±Inf
+// have no JSON encoding, and a bucket whose aggregate overflowed carries
+// no usable value anyway.
+func finiteOrNull(v float64) any {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return v
+}
+
 // value finalizes one aggregate. Value-folding aggregates over zero
-// samples are null (JSON-encodable, unlike NaN/±Inf).
+// finite samples are null (JSON-encodable, unlike NaN/±Inf); count(*)
+// counts every row, NaN readings included, while count(value) counts
+// only the finite samples the value aggregates folded.
 func (a *aggState) value(fn AggFn) any {
 	switch fn {
+	case AggCountValue:
+		return a.count
 	case AggSum:
-		return a.sum
+		return finiteOrNull(a.sum)
 	case AggMean:
 		if a.count == 0 {
 			return nil
 		}
-		return a.sum / float64(a.count)
+		return finiteOrNull(a.sum / float64(a.count))
 	case AggMin:
 		if a.count == 0 {
 			return nil
 		}
-		return a.min
+		return finiteOrNull(a.min)
 	case AggMax:
 		if a.count == 0 {
 			return nil
 		}
-		return a.max
+		return finiteOrNull(a.max)
 	default: // AggCount
-		return a.count
+		return a.count + a.nan
 	}
+}
+
+// needMinMax reports whether any output column folds min or max — the
+// kernel selector.
+func (p *Plan) needMinMax() bool {
+	for _, c := range p.Cols {
+		if !c.IsKey && (c.Agg == AggMin || c.Agg == AggMax) {
+			return true
+		}
+	}
+	return false
 }
 
 // Execute runs a compiled plan against the engine's store: it resolves
@@ -170,7 +244,10 @@ func ResolveScanMeters(eng *query.Engine, p *Plan) ([]int64, error) {
 		return nil, err
 	}
 	cat := eng.Store().Catalog()
-	known := ids[:0]
+	// Filter into a fresh slice: ids may alias memory the engine handed out
+	// (an explicit MeterIDs selection returns the caller's backing array),
+	// and compacting in place would corrupt it.
+	known := make([]int64, 0, len(ids))
 	for _, id := range ids {
 		if _, ok := cat.Get(id); ok {
 			known = append(known, id)
@@ -184,17 +261,419 @@ func ResolveScanMeters(eng *query.Engine, p *Plan) ([]int64, error) {
 // callers that also fingerprint the selection and key caches on the
 // window resolve once and share both, so the keyed window can never
 // diverge from the executed one). windowOK false yields zero rows.
-// Per-meter scans fan out across the engine's workers via the shared
-// execution substrate, each streaming its pushdown iterator into partial
-// per-group aggregates; partials merge into the final groups, which are
-// then ordered and limited.
+//
+// Execution is vectorized: a cost model over per-series statistics picks
+// the grouping layout (dense bucket array, hash, or single group) and the
+// fan-out width, then contiguous meter chunks scan through the store's
+// batch decoder into per-chunk partial aggregates. Bucket boundaries are
+// found by scanning the sorted timestamp array — the kernels never
+// truncate or hash per sample.
 func ExecuteResolved(ctx context.Context, eng *query.Engine, p *Plan, ids []int64, from, to int64, windowOK bool) (*Result, error) {
 	res := &Result{Columns: make([]string, len(p.Cols)), Rows: [][]any{}}
 	for i, c := range p.Cols {
 		res.Columns[i] = c.Name
 	}
+	if !windowOK {
+		from, to = 0, 0
+	}
+	cost, bounds := planScan(p, eng.Store().SeriesStats(ids), from, to, eng.Workers())
+	res.Plan = explainText(p, &cost, true)
+	if len(ids) == 0 || !windowOK {
+		res.Rows = p.buildRows(nil)
+		return res, nil
+	}
+	res.Window = [2]int64{from, to}
+	res.Meters = len(ids)
+
+	// Partials are per METER, not per chunk, and merge in ascending meter
+	// order below: every meter's samples fold into their own states and the
+	// states combine left-associatively, so the result is bit-identical to
+	// the scalar executor — and independent of the planner's worker/chunk
+	// split (float addition is not associative; collapsing a chunk's meters
+	// into shared state would tie result bytes to the fan-out choice).
+	sc := newScanConfig(p, eng, bounds, from, to)
+	sink := newGroupSink(sc)
+	vers := make([]uint64, len(ids))
+	if cost.Chunks == 1 {
+		// Sequential scan: each meter's partial merges into the sink as
+		// soon as the meter finishes — no partial storage, no copies.
+		n, err := sc.scanChunk(ctx, ids, vers, nil, sink)
+		if err != nil {
+			return nil, err
+		}
+		res.Samples = n
+	} else {
+		chunkSize := (len(ids) + cost.Chunks - 1) / cost.Chunks
+		partials := make([]meterPartial, len(ids))
+		err := exec.ForEach(ctx, cost.Chunks, cost.Workers, func(c int) error {
+			lo, hi := c*chunkSize, (c+1)*chunkSize
+			if hi > len(ids) {
+				hi = len(ids)
+			}
+			_, cerr := sc.scanChunk(ctx, ids[lo:hi], vers[lo:hi], partials[lo:hi], nil)
+			return cerr
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := range partials {
+			mp := &partials[i]
+			res.Samples += mp.n
+			if mp.dense != nil {
+				sink.addDense(mp.base, mp.dense, mp.lo)
+			} else if mp.groups != nil {
+				sink.addMap(mp.groups)
+			}
+		}
+	}
+
+	res.Fingerprint = store.FingerprintPairs(ids, vers)
+	res.Rows = p.buildRows(sink.finish())
+	return res, nil
+}
+
+// meterPartial holds one meter's partial aggregates. Dense-strategy scans
+// keep the bucket-indexed slice (covering buckets [lo, lo+len(dense)) of
+// the plan's bounds, base key base) instead of a map, so the hot path
+// never hashes a group key; the other strategies fill groups. n is the
+// meter's in-window sample count.
+type meterPartial struct {
+	groups map[groupKey]*aggState
+	dense  []aggState
+	lo     int
+	base   groupKey
+	n      int
+}
+
+// groupSink accumulates per-meter partials into the final group states in
+// ascending meter order. When the dense grouping has no meter/zone
+// dimension every partial shares the zero base key, so the merge goes
+// straight into a bucket-indexed array — no group-key hashing on the
+// merge path. An untouched entry is the zero state (count==0 && nan==0, a
+// state no emitted partial can have), and the first merge into it copies
+// rather than folds, keeping the per-group association identical to the
+// map path (and so to the scalar executor).
+type groupSink struct {
+	bounds []int64
+	groups map[groupKey]*aggState
+	dense  []aggState // bucket-indexed; non-nil only for base-less dense grouping
+}
+
+func newGroupSink(sc *scanConfig) *groupSink {
+	s := &groupSink{bounds: sc.bounds, groups: make(map[groupKey]*aggState)}
+	if sc.bounds != nil && !sc.groupMeter && !sc.needZone {
+		s.dense = make([]aggState, len(sc.bounds))
+	}
+	return s
+}
+
+// addDense merges one meter's touched bucket range (states covers buckets
+// [lo, lo+len(states)) of bounds) under base.
+func (s *groupSink) addDense(base groupKey, states []aggState, lo int) {
+	if s.dense != nil {
+		for j := range states {
+			st := &states[j]
+			if st.count == 0 && st.nan == 0 {
+				continue
+			}
+			g := &s.dense[lo+j]
+			if g.count == 0 && g.nan == 0 {
+				*g = *st
+			} else {
+				g.merge(st)
+			}
+		}
+		return
+	}
+	for j := range states {
+		st := &states[j]
+		if st.count == 0 && st.nan == 0 {
+			continue
+		}
+		k := base
+		k.bucket = s.bounds[lo+j]
+		if g, ok := s.groups[k]; ok {
+			g.merge(st)
+		} else {
+			cp := *st
+			s.groups[k] = &cp
+		}
+	}
+}
+
+// addMap merges one meter's map-shaped partial. Keys within a single
+// meter's map are distinct groups, so iteration order doesn't matter.
+func (s *groupSink) addMap(local map[groupKey]*aggState) {
+	for k, st := range local {
+		if g, ok := s.groups[k]; ok {
+			g.merge(st)
+		} else {
+			s.groups[k] = st
+		}
+	}
+}
+
+// finish folds the dense array (if any) into the group map and returns it.
+func (s *groupSink) finish() map[groupKey]*aggState {
+	for bi := range s.dense {
+		st := &s.dense[bi]
+		if st.count == 0 && st.nan == 0 {
+			continue
+		}
+		s.groups[groupKey{bucket: s.bounds[bi]}] = st
+	}
+	return s.groups
+}
+
+// scanConfig is the immutable per-query scan setup shared by every chunk
+// worker: the grouping layout the planner chose plus the plan dimensions
+// the key construction needs.
+type scanConfig struct {
+	eng        *query.Engine
+	from, to   int64
+	gran       query.Granularity
+	groupMeter bool
+	needZone   bool
+	hasBucket  bool
+	minMax     bool
+	bounds     []int64 // dense: ascending bucket starts (nil otherwise)
+	ends       []int64 // dense: exclusive end per bucket, last = sentinel
+}
+
+func newScanConfig(p *Plan, eng *query.Engine, bounds []int64, from, to int64) *scanConfig {
+	sc := &scanConfig{
+		eng:       eng,
+		from:      from,
+		to:        to,
+		gran:      p.Granularity(),
+		hasBucket: p.hasBucket,
+		needZone:  p.needZone,
+		minMax:    p.needMinMax(),
+		bounds:    bounds,
+	}
+	for _, k := range p.Keys {
+		if k.Kind == KeyMeter {
+			sc.groupMeter = true
+		}
+	}
+	if bounds != nil {
+		sc.ends = make([]int64, len(bounds))
+		for i := 1; i < len(bounds); i++ {
+			sc.ends[i-1] = bounds[i]
+		}
+		sc.ends[len(bounds)-1] = math.MaxInt64
+	}
+	return sc
+}
+
+// scanChunk scans one contiguous run of meters on the calling goroutine.
+// Exactly one of partials and sink is non-nil: parallel chunks fill each
+// meter's partial aggregates into partials (aligned with ids, as is vers,
+// which receives the per-meter snapshot versions) for the caller to merge
+// in ascending meter order; a sequential scan passes sink instead and each
+// meter merges as soon as it finishes, skipping the partial copies.
+// Scratch (the decode batch and the dense bucket array) is shared across
+// the chunk's meters; group state is not — see ExecuteResolved on why
+// partials stay per meter. Returns the chunk's in-window sample count.
+func (sc *scanConfig) scanChunk(ctx context.Context, ids []int64, vers []uint64, partials []meterPartial, sink *groupSink) (int, error) {
+	batch := store.GetBatch()
+	defer store.PutBatch(batch)
+
+	// Dense scratch: one bucket-indexed array reused across the chunk's
+	// meters. Only the bucket range a meter actually touched is flushed and
+	// re-seeded after it, so sparse meters inside a wide window don't pay
+	// for the whole array.
+	var dense []aggState
+	if sc.bounds != nil {
+		dense = make([]aggState, len(sc.bounds))
+		for i := range dense {
+			dense[i] = aggState{min: math.Inf(1), max: math.Inf(-1)}
+		}
+	}
+
+	cat := sc.eng.Store().Catalog()
+	samples := 0
+	for i, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		base := groupKey{}
+		if sc.groupMeter {
+			base.meter = id
+		}
+		if sc.needZone {
+			if m, ok := cat.Get(id); ok {
+				base.zone = m.Zone
+			}
+		}
+		it, err := sc.eng.Store().Iter(id, sc.from, sc.to)
+		if err != nil {
+			return 0, err
+		}
+		vers[i] = it.Version()
+
+		switch {
+		case sc.bounds != nil: // dense
+			n, lo, hi, derr := sc.scanDense(it, batch, dense)
+			if derr != nil {
+				return 0, derr
+			}
+			samples += n
+			if sink != nil {
+				if hi > lo {
+					sink.addDense(base, dense[lo:hi], lo)
+				}
+			} else {
+				var cp []aggState
+				if hi > lo {
+					cp = make([]aggState, hi-lo)
+					copy(cp, dense[lo:hi])
+				}
+				partials[i] = meterPartial{dense: cp, lo: lo, base: base, n: n}
+			}
+			for bi := lo; bi < hi; bi++ {
+				dense[bi] = aggState{min: math.Inf(1), max: math.Inf(-1)}
+			}
+		case sc.hasBucket: // map grouping, run-at-a-time
+			local := make(map[groupKey]*aggState)
+			n, merr := sc.scanMap(it, batch, base, local)
+			if merr != nil {
+				return 0, merr
+			}
+			samples += n
+			if sink != nil {
+				sink.addMap(local)
+			} else {
+				partials[i] = meterPartial{groups: local, n: n}
+			}
+		default: // single group per base key
+			local := make(map[groupKey]*aggState)
+			n, serr := sc.scanSingle(it, batch, base, local)
+			if serr != nil {
+				return 0, serr
+			}
+			samples += n
+			if sink != nil {
+				sink.addMap(local)
+			} else {
+				partials[i] = meterPartial{groups: local, n: n}
+			}
+		}
+	}
+	return samples, nil
+}
+
+// scanDense folds one meter into the bucket-indexed array, returning the
+// half-open range of bucket indices it touched. Bucket boundaries come
+// from the precomputed ends array; because timestamps are ascending the
+// bucket index only moves forward, so boundary detection is one compare
+// per sample and the Truncate function never runs.
+func (sc *scanConfig) scanDense(it *store.SeriesIter, batch *store.Batch, dense []aggState) (n, lo, hi int, err error) {
+	ends := sc.ends
+	bi := 0
+	first := true
+	for it.NextBatch(batch) {
+		ts, vals := batch.TS, batch.Val
+		n += len(ts)
+		k := 0
+		for k < len(ts) {
+			for ts[k] >= ends[bi] {
+				bi++
+			}
+			if first {
+				lo, first = bi, false
+			}
+			e := ends[bi]
+			r := k + 1
+			for r < len(ts) && ts[r] < e {
+				r++
+			}
+			if sc.minMax {
+				dense[bi].foldVals(vals[k:r])
+			} else {
+				dense[bi].foldSum(vals[k:r])
+			}
+			k = r
+		}
+	}
+	if !first {
+		hi = bi + 1
+	}
+	return n, lo, hi, it.Err()
+}
+
+// scanMap folds one meter with hash grouping on the bucket start —
+// the fallback when bucket starts are not enumerable. Truncate/Next and
+// the map lookup run once per bucket run, not per sample.
+func (sc *scanConfig) scanMap(it *store.SeriesIter, batch *store.Batch, base groupKey, local map[groupKey]*aggState) (int, error) {
+	key := base
+	var cur *aggState
+	bEnd := int64(math.MinInt64)
+	n := 0
+	for it.NextBatch(batch) {
+		ts, vals := batch.TS, batch.Val
+		n += len(ts)
+		k := 0
+		for k < len(ts) {
+			if ts[k] >= bEnd {
+				key.bucket = sc.gran.Truncate(ts[k])
+				bEnd = sc.gran.Next(ts[k])
+				cur = local[key]
+				if cur == nil {
+					cur = newAggState()
+					local[key] = cur
+				}
+			}
+			r := k + 1
+			for r < len(ts) && ts[r] < bEnd {
+				r++
+			}
+			if sc.minMax {
+				cur.foldVals(vals[k:r])
+			} else {
+				cur.foldSum(vals[k:r])
+			}
+			k = r
+		}
+	}
+	return n, it.Err()
+}
+
+// scanSingle folds one meter into its base-key group — plans with no
+// bucket dimension, where a whole batch is one run.
+func (sc *scanConfig) scanSingle(it *store.SeriesIter, batch *store.Batch, base groupKey, local map[groupKey]*aggState) (int, error) {
+	cur := local[base]
+	n := 0
+	for it.NextBatch(batch) {
+		// Lazily created on the first non-empty batch: a meter with no
+		// in-window samples must not materialize an empty group (the scalar
+		// semantics — groups exist only where samples do).
+		if cur == nil {
+			cur = newAggState()
+			local[base] = cur
+		}
+		n += batch.Len()
+		if sc.minMax {
+			cur.foldVals(batch.Val)
+		} else {
+			cur.foldSum(batch.Val)
+		}
+	}
+	return n, it.Err()
+}
+
+// ExecuteResolvedScalar is the sample-at-a-time reference executor: the
+// pre-vectorization implementation, retained for differential testing and
+// the paired scalar-vs-vectorized benchmark. Results are identical to
+// ExecuteResolved (including float summation order) except for the Plan
+// rendering, which reflects the scalar pipeline.
+func ExecuteResolvedScalar(ctx context.Context, eng *query.Engine, p *Plan, ids []int64, from, to int64, windowOK bool) (*Result, error) {
+	res := &Result{Columns: make([]string, len(p.Cols)), Rows: [][]any{}}
+	for i, c := range p.Cols {
+		res.Columns[i] = c.Name
+	}
 	cat := eng.Store().Catalog()
-	res.Plan = explainText(p, eng.Workers(), len(ids), true)
+	res.Plan = "VQL plan (scalar reference executor)\n"
 	if len(ids) == 0 || !windowOK {
 		res.Rows = p.buildRows(nil)
 		return res, nil

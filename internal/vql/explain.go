@@ -11,25 +11,31 @@ import (
 // ExplainString renders the plan tree with pushdown annotations. The tree
 // reads bottom-up: the scan node lists every predicate lowered into the
 // store (and how it is served), the aggregate node the grouping shape, and
-// the top nodes ordering and limiting. eng supplies runtime context — how
-// many meters the selection resolves to and the fan-out width; it may be
-// nil for a purely static rendering.
+// the top nodes ordering and limiting. eng supplies runtime context — the
+// resolved meter set, its per-series statistics, and the cost model's
+// choices; it may be nil for a purely static rendering.
 func ExplainString(p *Plan, eng *query.Engine) string {
 	if eng == nil {
-		return explainText(p, 0, 0, false)
+		return explainText(p, nil, false)
 	}
-	meters := 0
-	if ids, err := eng.ResolveMeters(p.Sel); err == nil {
-		meters = len(ids)
+	var ids []int64
+	if resolved, err := ResolveScanMeters(eng, p); err == nil {
+		ids = resolved
 	} else if !errors.Is(err, query.ErrNoMeters) {
-		return explainText(p, eng.Workers(), 0, true)
+		cost, _ := planScan(p, nil, 0, 0, eng.Workers())
+		return explainText(p, &cost, true)
 	}
-	return explainText(p, eng.Workers(), meters, true)
+	from, to, ok := p.ResolveWindow(eng.Store())
+	if !ok {
+		from, to = 0, 0
+	}
+	cost, _ := planScan(p, eng.Store().SeriesStats(ids), from, to, eng.Workers())
+	return explainText(p, &cost, true)
 }
 
 // explainText is the rendering body; Execute calls it directly with the
-// meter set it already resolved so the hot path never resolves twice.
-func explainText(p *Plan, workers, meters int, runtime bool) string {
+// scan cost it already planned so the hot path never resolves twice.
+func explainText(p *Plan, cost *ScanCost, runtime bool) string {
 	var sb strings.Builder
 	sb.WriteString("VQL plan\n")
 	depth := 0
@@ -75,7 +81,7 @@ func explainText(p *Plan, workers, meters int, runtime bool) string {
 	} else {
 		node(fmt.Sprintf("Aggregate: [%s] (single group)", strings.Join(p.aggList(), ", ")))
 	}
-	node("Scan: meters")
+	node("Scan: meters (vectorized batch decode)")
 
 	var details []string
 	if p.Sel.BBox != nil {
@@ -95,14 +101,46 @@ func explainText(p *Plan, workers, meters int, runtime bool) string {
 	if len(details) == 0 {
 		details = append(details, "full scan (no predicates; iterator still streams block-by-block)")
 	}
-	if runtime {
-		details = append(details, fmt.Sprintf("meters resolved: %d", meters))
-		details = append(details, fmt.Sprintf("fanout: %d workers via internal/exec, cancellable", workers))
+	if runtime && cost != nil {
+		details = append(details, fmt.Sprintf("meters resolved: %d", cost.Meters))
+		perMeter := int64(0)
+		if cost.Meters > 0 {
+			perMeter = cost.EstSamples / int64(cost.Meters)
+		}
+		details = append(details, fmt.Sprintf("cost: est %d samples (~%d/meter), %d blocks, %s compressed",
+			cost.EstSamples, perMeter, cost.EstBlocks, humanBytes(cost.EstBytes)))
+		details = append(details, "grouping: "+groupingStr(cost))
+		details = append(details, fmt.Sprintf("fanout: %d workers via internal/exec, %d chunks, cancellable",
+			cost.Workers, cost.Chunks))
 	}
 	for i, d := range details {
 		leaf(i == len(details)-1, d)
 	}
 	return sb.String()
+}
+
+// groupingStr renders the planner's grouping choice.
+func groupingStr(c *ScanCost) string {
+	switch c.Strategy {
+	case GroupDense:
+		return fmt.Sprintf("dense bucket array (%d buckets, boundaries precomputed)", c.Buckets)
+	case GroupMap:
+		return "hash on bucket start (bucket count not enumerable)"
+	default:
+		return "single group per key (no bucket dimension)"
+	}
+}
+
+// humanBytes renders a byte count with a binary-unit suffix.
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 // aggList returns the distinct aggregate expressions of the select list in

@@ -252,7 +252,12 @@ func (p *parser) parseExpr() (Expr, error) {
 		}
 		arg := p.cur()
 		switch {
-		case fn == AggCount && (arg.Kind == TokStar || (arg.Kind == TokIdent && strings.EqualFold(arg.Text, "value"))):
+		case fn == AggCount && arg.Kind == TokStar:
+			p.advance()
+		case fn == AggCount && arg.Kind == TokIdent && strings.EqualFold(arg.Text, "value"):
+			// count(value) counts only finite samples; count(*) counts
+			// every row, NaN readings included.
+			fn = AggCountValue
 			p.advance()
 		case fn != AggCount && arg.Kind == TokIdent && strings.EqualFold(arg.Text, "value"):
 			p.advance()

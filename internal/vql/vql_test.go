@@ -360,7 +360,9 @@ func TestExplain(t *testing.T) {
 		"pushdown zone = 'residential' -> catalog filter",
 		"pushdown time [1496275200, extent) -> block min/max pruned iterator",
 		"meters resolved: 2",
-		"fanout: 4 workers via internal/exec, cancellable",
+		"cost: est ",
+		"grouping: dense bucket array (2 buckets, boundaries precomputed)",
+		"fanout: 1 workers via internal/exec, 1 chunks, cancellable",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("explain output missing %q:\n%s", want, out)

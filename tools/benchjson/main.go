@@ -1,0 +1,167 @@
+// Command benchjson turns `go test -bench` output into a JSON trajectory
+// artifact. Each invocation parses one bench run from stdin and appends a
+// dated entry to the -out file (creating it when absent), so the file
+// accumulates one entry per measurement over the repo's history and
+// regressions show up as a trend, not a diff fight over raw bench text.
+//
+// Repeated benchmarks (-count=N) are averaged; every metric column go
+// test emits (ns/op, B/op, allocs/op, custom ReportMetric units like
+// samples/sec) is kept under a JSON-friendly name. When the run contains
+// the paired VQLExec/Scalar and VQLExec/Vectorized benchmarks the ratio
+// of their ns/op means is recorded as derived.vql_exec_speedup — the
+// within-run, same-binary number the ≥5× vectorization floor is judged
+// on.
+//
+// Usage:
+//
+//	go test -run XXX -bench 'VQLEndToEnd|VQLExec' -benchmem -count=3 . |
+//	    go run ./tools/benchjson -out BENCH_vql.json -label "my change"
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type run struct {
+	Date       string                        `json:"date"`
+	Label      string                        `json:"label,omitempty"`
+	Goos       string                        `json:"goos,omitempty"`
+	Goarch     string                        `json:"goarch,omitempty"`
+	CPU        string                        `json:"cpu,omitempty"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+	Derived    map[string]float64            `json:"derived,omitempty"`
+}
+
+type trajectory struct {
+	Series string `json:"series"`
+	Runs   []run  `json:"runs"`
+}
+
+// benchLine matches one result row: name, iteration count, then
+// whitespace-separated (value, unit) metric pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// gomaxprocs strips the trailing -N go test appends when GOMAXPROCS > 1,
+// so artifact entries from different machines share benchmark names.
+var gomaxprocs = regexp.MustCompile(`-\d+$`)
+
+func metricKey(unit string) string {
+	return strings.NewReplacer("/", "_per_", "-", "_").Replace(unit)
+}
+
+func parse(r *bufio.Scanner) (run, error) {
+	out := run{Benchmarks: map[string]map[string]float64{}}
+	counts := map[string]map[string]int{}
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			out.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			out.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			out.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := gomaxprocs.ReplaceAllString(strings.TrimPrefix(m[1], "Benchmark"), "")
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			return out, fmt.Errorf("odd metric fields in %q", line)
+		}
+		if out.Benchmarks[name] == nil {
+			out.Benchmarks[name] = map[string]float64{}
+			counts[name] = map[string]int{}
+		}
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return out, fmt.Errorf("bad metric value in %q: %v", line, err)
+			}
+			k := metricKey(fields[i+1])
+			out.Benchmarks[name][k] += v
+			counts[name][k]++
+		}
+		out.Benchmarks[name]["runs"] = float64(counts[name]["ns_per_op"])
+	}
+	if err := r.Err(); err != nil {
+		return out, err
+	}
+	for name, metrics := range out.Benchmarks {
+		for k, n := range counts[name] {
+			if n > 1 {
+				metrics[k] /= float64(n)
+			}
+		}
+	}
+	if len(out.Benchmarks) == 0 {
+		return out, fmt.Errorf("no benchmark lines on stdin")
+	}
+	sc, okS := out.Benchmarks["VQLExec/Scalar"]
+	vec, okV := out.Benchmarks["VQLExec/Vectorized"]
+	if okS && okV && vec["ns_per_op"] > 0 {
+		out.Derived = map[string]float64{
+			"vql_exec_speedup": round2(sc["ns_per_op"] / vec["ns_per_op"]),
+		}
+	}
+	return out, nil
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}
+
+func main() {
+	outPath := flag.String("out", "", "trajectory file to append this run to (stdout if empty)")
+	label := flag.String("label", "", "short description of this run")
+	flag.Parse()
+
+	entry, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	entry.Date = time.Now().UTC().Format("2006-01-02")
+	entry.Label = *label
+
+	traj := trajectory{Series: "vql"}
+	if *outPath != "" {
+		if raw, err := os.ReadFile(*outPath); err == nil {
+			if err := json.Unmarshal(raw, &traj); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s exists but is not a trajectory file: %v\n", *outPath, err)
+				os.Exit(1)
+			}
+		}
+	}
+	traj.Runs = append(traj.Runs, entry)
+
+	enc, err := json.MarshalIndent(&traj, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if d := entry.Derived["vql_exec_speedup"]; d != 0 {
+		fmt.Printf("recorded %d benchmarks to %s (vql_exec_speedup %.2fx)\n", len(entry.Benchmarks), *outPath, d)
+	} else {
+		fmt.Printf("recorded %d benchmarks to %s\n", len(entry.Benchmarks), *outPath)
+	}
+}
