@@ -13,7 +13,9 @@ import (
 	"fmt"
 	"io"
 	"net/http/httptest"
+	"reflect"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -337,6 +339,116 @@ func BenchmarkVQLExec(b *testing.B) {
 	}
 	b.Run("Scalar", func(b *testing.B) { run(b, vql.ExecuteResolvedScalar) })
 	b.Run("Vectorized", func(b *testing.B) { run(b, vql.ExecuteResolved) })
+}
+
+// rollupBench holds two identically loaded dense multi-month stores — one
+// opened with rollups disabled, one with the default hourly+daily tiers —
+// so the Raw/Tier pair below measures exactly the tier-serving delta.
+var rollupBench struct {
+	once sync.Once
+	raw  *query.Engine
+	tier *query.Engine
+	plan *vql.Plan
+	err  error
+}
+
+func setupRollupBench(b *testing.B) {
+	b.Helper()
+	rollupBench.once.Do(func() {
+		const (
+			meters  = 48
+			days    = 240 // dense multi-month history
+			perDay  = 96  // 15-minute cadence, the common utility sampling rate
+			cadence = 86400 / perDay
+		)
+		start := int64(19000 * 86400) // day-aligned so the daily tier covers the interior
+		open := func(res []int64) (*query.Engine, error) {
+			st, err := store.Open(store.Options{RollupRes: res})
+			if err != nil {
+				return nil, err
+			}
+			for id := int64(1); id <= meters; id++ {
+				if err := st.PutMeter(store.Meter{
+					ID:       id,
+					Location: vap.Point{Lon: 12.5 + float64(id)*0.001, Lat: 55.7},
+					Zone:     store.ZoneResidential,
+				}); err != nil {
+					return nil, err
+				}
+				batch := make([]store.Sample, days*perDay)
+				for i := range batch {
+					batch[i] = store.Sample{TS: start + int64(i)*cadence, Value: float64((int(id)+i)%37) * 0.25}
+				}
+				if _, err := st.AppendBatch(id, batch); err != nil {
+					return nil, err
+				}
+			}
+			return query.NewEngine(st), nil
+		}
+		var err error
+		if rollupBench.raw, err = open([]int64{}); err != nil {
+			rollupBench.err = err
+			return
+		}
+		if rollupBench.tier, err = open(nil); err != nil {
+			rollupBench.err = err
+			return
+		}
+		q, err := vql.Parse(`SELECT bucket(daily) AS day, sum(value), mean(value), count(*)
+			FROM meters GROUP BY bucket(daily) ORDER BY day`)
+		if err != nil {
+			rollupBench.err = err
+			return
+		}
+		rollupBench.plan, rollupBench.err = vql.Compile(q)
+	})
+	if rollupBench.err != nil {
+		b.Fatal(rollupBench.err)
+	}
+}
+
+// BenchmarkVQLRollup pairs a full raw decode against the rollup-tier path
+// for the same daily GROUP BY over the same dense multi-month data, through
+// the real executor (memoization bypassed). The exact-width serving rule
+// makes the two results bit-identical — asserted before timing — so the
+// ns/op ratio is the tier speedup benchjson records as
+// derived.rollup_speedup in BENCH_rollup.json (the ≥10x acceptance floor).
+func BenchmarkVQLRollup(b *testing.B) {
+	setupRollupBench(b)
+	ctx := context.Background()
+	runOn := func(eng *query.Engine) (*vql.Result, error) {
+		ids, err := vql.ResolveScanMeters(eng, rollupBench.plan)
+		if err != nil {
+			return nil, err
+		}
+		from, to, ok := rollupBench.plan.ResolveWindow(eng.Store())
+		return vql.ExecuteResolved(ctx, eng, rollupBench.plan, ids, from, to, ok)
+	}
+	rawRes, err := runOn(rollupBench.raw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tierRes, err := runOn(rollupBench.tier)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !reflect.DeepEqual(rawRes.Rows, tierRes.Rows) {
+		b.Fatal("rollup-served rows differ from raw-scan rows")
+	}
+	if !strings.Contains(tierRes.Plan, "rollup serves interior") {
+		b.Fatalf("tier store planned a raw scan:\n%s", tierRes.Plan)
+	}
+	bench := func(eng *query.Engine) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := runOn(eng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("Raw", bench(rollupBench.raw))
+	b.Run("Tier", bench(rollupBench.tier))
 }
 
 // BenchmarkKMeans is E5 (S1 step 4).

@@ -6,23 +6,31 @@
 //
 //	vapd [-addr :8080] [-dir data/] [-seed 42] [-days 365] [-stream] [-interval 10s] [-shards 16]
 //	     [-sync] [-segment-bytes N] [-commit-interval 2ms] [-snapshot-interval 5m]
+//	     [-retain-raw 2160h] [-rollup-res 3600,86400]
 //
 // With -dir, the store is durable (segmented WAL + snapshots); if the
 // directory is empty a synthetic dataset is generated and snapshotted into
 // it. -sync makes every append wait for its group commit (fsync-durable
 // acks); -snapshot-interval runs background snapshots that retire covered
 // WAL segments without blocking ingest (POST /api/admin/snapshot triggers
-// one on demand). With -stream, the last 7 days of data are withheld from
-// the initial load and replayed live at -interval per hour of data.
+// one on demand). -retain-raw bounds how much raw history snapshots keep:
+// sealed chunks wholly older than the horizon age out of disk and memory
+// while the rollup tiers (-rollup-res) continue to serve coarse
+// aggregates over the full history. With -stream, the last 7 days of data
+// are withheld from the initial load and replayed live at -interval per
+// hour of data.
 package main
 
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"vap/internal/api"
@@ -46,14 +54,22 @@ func main() {
 	segmentBytes := flag.Int64("segment-bytes", 0, "WAL segment rotation threshold (0 = default 64 MiB)")
 	commitInterval := flag.Duration("commit-interval", 0, "WAL group-commit cadence (0 = default 2ms)")
 	snapInterval := flag.Duration("snapshot-interval", 0, "background snapshot cadence; snapshots retire covered WAL segments without blocking ingest (0 = only on demand via POST /api/admin/snapshot)")
+	retainRaw := flag.Duration("retain-raw", 0, "raw-sample retention horizon behind the newest sample; snapshots age older sealed chunks out of disk and memory while rollup tiers keep serving coarse aggregates (0 = keep raw data forever)")
+	rollupRes := flag.String("rollup-res", "", "comma-separated rollup tier resolutions in seconds (empty = default 3600,86400; 'off' disables rollups)")
 	flag.Parse()
 
+	rollups, err := parseRollupRes(*rollupRes)
+	if err != nil {
+		log.Fatalf("parse -rollup-res: %v", err)
+	}
 	st, err := store.Open(store.Options{
 		Dir:             *dir,
 		Shards:          *shards,
 		SyncEveryAppend: *syncEvery,
 		SegmentBytes:    *segmentBytes,
 		CommitInterval:  *commitInterval,
+		RollupRes:       rollups,
+		RetainRaw:       *retainRaw,
 	})
 	if err != nil {
 		log.Fatalf("open store: %v", err)
@@ -166,4 +182,28 @@ func main() {
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatalf("serve: %v", err)
 	}
+}
+
+// parseRollupRes maps the -rollup-res flag onto store.Options.RollupRes:
+// "" selects the store defaults (nil), "off" disables rollups (non-nil
+// empty slice), anything else parses as comma-separated seconds.
+func parseRollupRes(s string) ([]int64, error) {
+	switch strings.TrimSpace(s) {
+	case "":
+		return nil, nil
+	case "off":
+		return []int64{}, nil
+	}
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad resolution %q: %w", part, err)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("resolution %d must be positive", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

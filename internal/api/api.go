@@ -217,6 +217,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"wal_bytes":             st.WALBytes,
 		"last_snapshot_unix":    st.LastSnapshotUnix,
 		"last_snapshot_age_sec": snapAge,
+		// Rollup tiers: per-resolution bucket counts and byte footprint
+		// (empty when the store was opened with rollups disabled).
+		"rollups": st.Rollups,
 	})
 }
 

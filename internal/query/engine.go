@@ -126,18 +126,15 @@ func (e *Engine) timeWindow(sel Selection) (int64, int64, error) {
 	return from, to, nil
 }
 
-// MeterSeries returns the aggregated series of a single meter, streaming
-// samples out of the store's pushdown iterator.
+// MeterSeries returns the aggregated series of a single meter, serving
+// complete buckets from the store's rollup tiers when the granularity has
+// a matching tier and streaming the rest out of the pushdown iterator.
 func (e *Engine) MeterSeries(meterID int64, sel Selection, g Granularity, fn AggFunc) ([]Bucket, error) {
 	from, to, err := e.timeWindow(sel)
 	if err != nil {
 		return nil, err
 	}
-	it, err := e.st.Iter(meterID, from, to)
-	if err != nil {
-		return nil, err
-	}
-	return AggregateIter(it, g, fn)
+	return e.meterBuckets(meterID, from, to, g, fn)
 }
 
 // MeterMatrix returns one aggregated row per selected meter, all aligned to
@@ -170,11 +167,7 @@ func (e *Engine) MeterMatrixCtx(ctx context.Context, sel Selection, g Granularit
 	}
 	rows = make([][]float64, len(ids))
 	err = exec.ForEach(ctx, len(ids), e.workers, func(r int) error {
-		it, err := e.st.Iter(ids[r], from, to)
-		if err != nil {
-			return err
-		}
-		buckets, err := AggregateIter(it, g, fn)
+		buckets, err := e.meterBuckets(ids[r], from, to, g, fn)
 		if err != nil {
 			return err
 		}
@@ -211,19 +204,8 @@ func (e *Engine) TotalByMeterCtx(ctx context.Context, sel Selection) (map[int64]
 	}
 	totals := make([]float64, len(ids))
 	err = exec.ForEach(ctx, len(ids), e.workers, func(i int) error {
-		it, err := e.st.Iter(ids[i], from, to)
+		s, _, err := e.windowSum(ids[i], from, to)
 		if err != nil {
-			return err
-		}
-		b := store.GetBatch()
-		defer store.PutBatch(b)
-		s := 0.0
-		for it.NextBatch(b) {
-			for _, v := range b.Val {
-				s += v
-			}
-		}
-		if err := it.Err(); err != nil {
 			return err
 		}
 		totals[i] = s
@@ -300,20 +282,8 @@ func (e *Engine) DemandSnapshotCtx(ctx context.Context, sel Selection, from, to 
 	}
 	means := make([]float64, len(ids))
 	err = exec.ForEach(ctx, len(ids), e.workers, func(i int) error {
-		it, err := e.st.Iter(ids[i], from, to)
+		sum, n, err := e.windowSum(ids[i], from, to)
 		if err != nil {
-			return err
-		}
-		b := store.GetBatch()
-		defer store.PutBatch(b)
-		sum, n := 0.0, 0
-		for it.NextBatch(b) {
-			for _, v := range b.Val {
-				sum += v
-			}
-			n += b.Len()
-		}
-		if err := it.Err(); err != nil {
 			return err
 		}
 		if n > 0 {

@@ -1,0 +1,206 @@
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"vap/internal/store"
+)
+
+// This file routes the engine's granularity and density paths through the
+// store's rollup tiers (see store/rollup.go). The serving rule matches the
+// VQL planner's: a tier serves a granularity only when its resolution
+// equals the bucket width exactly — then every interior query bucket is
+// one tier bucket and the reconstructed Bucket matches what AggregateIter
+// would have computed from the raw samples, NaN propagation included.
+// Unaligned window edges, and granularities with no matching tier
+// (weekly's Monday phase, the variable-width calendar units), decode raw.
+
+// tierWidth returns the fixed bucket width of g when a resolution-aligned
+// rollup tier can represent g's buckets exactly, else 0.
+func tierWidth(g Granularity) int64 {
+	switch g {
+	case GranHourly:
+		return 3600
+	case Gran4Hourly:
+		return 4 * 3600
+	case GranDaily:
+		return 24 * 3600
+	default:
+		return 0
+	}
+}
+
+// alignUp rounds ts up to the next multiple of w (identity when aligned);
+// alignDown rounds toward -inf. Both are negative-safe.
+func alignUp(ts, w int64) int64 {
+	if m := mod(ts, w); m != 0 {
+		return ts + (w - m)
+	}
+	return ts
+}
+
+func alignDown(ts, w int64) int64 { return ts - mod(ts, w) }
+
+// tierFor returns the tier resolution that serves granularity g over
+// [from, to) — the exact bucket width, when the store maintains it and the
+// window spans at least one aligned bucket — or 0 for a raw scan.
+func tierFor(st *store.Store, g Granularity, from, to int64) int64 {
+	w := tierWidth(g)
+	if w == 0 {
+		return 0
+	}
+	for _, r := range st.RollupResolutions() {
+		if r == w {
+			if alignDown(to, w) > alignUp(from, w) {
+				return w
+			}
+			return 0
+		}
+	}
+	return 0
+}
+
+// bucketFromRollup reconstructs the Bucket AggregateIter would have built
+// for one complete tier-backed bucket. AggregateIter folds NaN readings
+// into sums (one NaN poisons the bucket) and counts every sample; min/max
+// stick at NaN only when the bucket's first sample is NaN (later NaNs lose
+// every comparison). The rollup bucket carries exactly the state needed to
+// replay those semantics without the samples.
+func bucketFromRollup(b *store.RollupBucket, fn AggFunc) Bucket {
+	out := Bucket{Start: b.Start, Count: int(b.Count + b.NaN)}
+	switch fn {
+	case AggSum, AggMean:
+		if b.NaN > 0 {
+			out.Value = math.NaN()
+		} else {
+			out.Value = b.Sum
+		}
+		if fn == AggMean {
+			out.Value /= float64(out.Count)
+		}
+	case AggMax:
+		if math.IsNaN(b.First) {
+			out.Value = math.NaN()
+		} else {
+			out.Value = b.Max
+		}
+	case AggMin:
+		if math.IsNaN(b.First) {
+			out.Value = math.NaN()
+		} else {
+			out.Value = b.Min
+		}
+	}
+	return out
+}
+
+// meterBuckets aggregates one meter over [from, to) at granularity g,
+// serving the aligned interior from a rollup tier when one matches the
+// bucket width and decoding only the unaligned edges raw. With no usable
+// tier the whole window decodes raw — the pre-rollup behavior.
+func (e *Engine) meterBuckets(meterID, from, to int64, g Granularity, fn AggFunc) ([]Bucket, error) {
+	res := tierFor(e.st, g, from, to)
+	if res == 0 {
+		it, err := e.st.Iter(meterID, from, to)
+		if err != nil {
+			return nil, err
+		}
+		return AggregateIter(it, g, fn)
+	}
+	switch fn {
+	case AggSum, AggMean, AggMax, AggMin:
+	default:
+		return nil, fmt.Errorf("query: unknown aggregate %q", fn)
+	}
+	aFrom, aTo := alignUp(from, res), alignDown(to, res)
+	tsc, err := e.st.TierScan(meterID, res, from, aFrom, aTo, to)
+	if err != nil {
+		return nil, err
+	}
+	var out []Bucket
+	if tsc.Left != nil {
+		if out, err = AggregateIter(tsc.Left, g, fn); err != nil {
+			return nil, err
+		}
+	}
+	tsc.Buckets(func(b *store.RollupBucket) {
+		out = append(out, bucketFromRollup(b, fn))
+	})
+	if tsc.Right != nil {
+		right, err := AggregateIter(tsc.Right, g, fn)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, right...)
+	}
+	return out, nil
+}
+
+// windowSum folds one meter's [from, to) window into a flat sum and sample
+// count, serving the aligned interior from the coarsest rollup tier that
+// fits and decoding the edges raw. A NaN reading poisons the sum either
+// way — the rollup's NaN tally replays the poisoning without the samples.
+// Note the interior adds per-bucket subtotals, so with a tier the sum can
+// differ from a raw fold in the last ulp; the density paths using it feed
+// normalized weights, not bit-compared results.
+func (e *Engine) windowSum(meterID, from, to int64) (sum float64, n int, err error) {
+	var res int64
+	rs := e.st.RollupResolutions()
+	for i := len(rs) - 1; i >= 0; i-- {
+		if alignDown(to, rs[i]) > alignUp(from, rs[i]) {
+			res = rs[i]
+			break
+		}
+	}
+	if res == 0 {
+		it, err := e.st.Iter(meterID, from, to)
+		if err != nil {
+			return 0, 0, err
+		}
+		return sumIter(it)
+	}
+	aFrom, aTo := alignUp(from, res), alignDown(to, res)
+	tsc, err := e.st.TierScan(meterID, res, from, aFrom, aTo, to)
+	if err != nil {
+		return 0, 0, err
+	}
+	if tsc.Left != nil {
+		s, c, err := sumIter(tsc.Left)
+		if err != nil {
+			return 0, 0, err
+		}
+		sum += s
+		n += c
+	}
+	tsc.Buckets(func(b *store.RollupBucket) {
+		if b.NaN > 0 {
+			sum += math.NaN()
+		} else {
+			sum += b.Sum
+		}
+		n += int(b.Count + b.NaN)
+	})
+	if tsc.Right != nil {
+		s, c, err := sumIter(tsc.Right)
+		if err != nil {
+			return 0, 0, err
+		}
+		sum += s
+		n += c
+	}
+	return sum, n, nil
+}
+
+// sumIter flat-folds a raw iterator through the batch decoder.
+func sumIter(it *store.SeriesIter) (sum float64, n int, err error) {
+	b := store.GetBatch()
+	defer store.PutBatch(b)
+	for it.NextBatch(b) {
+		for _, v := range b.Val {
+			sum += v
+		}
+		n += b.Len()
+	}
+	return sum, n, it.Err()
+}

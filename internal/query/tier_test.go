@@ -1,0 +1,194 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vap/internal/geo"
+	"vap/internal/store"
+)
+
+func TestTierWidth(t *testing.T) {
+	cases := map[Granularity]int64{
+		GranHourly:    3600,
+		Gran4Hourly:   14400,
+		GranDaily:     86400,
+		GranWeekly:    0, // Monday phase vs epoch-Thursday tier alignment
+		GranMonthly:   0, // variable width
+		GranQuarterly: 0,
+		GranYearly:    0,
+	}
+	for g, want := range cases {
+		if got := tierWidth(g); got != want {
+			t.Errorf("tierWidth(%s) = %d, want %d", g, got, want)
+		}
+	}
+}
+
+// buildTierPair loads the same messy series — gaps, NaN and ±Inf readings —
+// into a store without rollups and a store with the given tiers.
+func buildTierPair(t *testing.T, tiers []int64) (raw, tier *store.Store, first, last int64) {
+	t.Helper()
+	open := func(res []int64) *store.Store {
+		st, err := store.Open(store.Options{RollupRes: res})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		return st
+	}
+	raw, tier = open([]int64{}), open(tiers)
+	rng := rand.New(rand.NewSource(23))
+	start := ts("2018-03-01 00:00")
+	for _, m := range []store.Meter{
+		{ID: 1, Location: geo.Point{Lon: 12.50, Lat: 55.60}, Zone: store.ZoneResidential},
+		{ID: 2, Location: geo.Point{Lon: 12.51, Lat: 55.61}, Zone: store.ZoneCommercial},
+	} {
+		if err := raw.PutMeter(m); err != nil {
+			t.Fatal(err)
+		}
+		if err := tier.PutMeter(m); err != nil {
+			t.Fatal(err)
+		}
+		tsNow := start + m.ID*17
+		n := 900 + rng.Intn(300) // ~6-8 days of 10-minute readings
+		for i := 0; i < n; i++ {
+			tsNow += 600 + int64(rng.Intn(200))*3 // uneven cadence with gaps
+			v := float64(rng.Intn(40)) * 0.25
+			switch rng.Intn(35) {
+			case 0:
+				v = math.NaN()
+			case 1:
+				v = math.Inf(1)
+			case 2:
+				v = math.Inf(-1)
+			}
+			smp := store.Sample{TS: tsNow, Value: v}
+			if err := raw.Append(m.ID, smp); err != nil {
+				t.Fatal(err)
+			}
+			if err := tier.Append(m.ID, smp); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	f, l, ok := raw.TimeBounds()
+	if !ok {
+		t.Fatal("empty store")
+	}
+	return raw, tier, f, l
+}
+
+// valueEqual treats two NaNs as equal (the tier path synthesizes its NaN
+// rather than propagating a payload) and everything else bitwise.
+func valueEqual(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func TestMeterSeriesTierMatchesRaw(t *testing.T) {
+	raw, tier, first, last := buildTierPair(t, []int64{3600, 14400, 86400})
+	rawEng, tierEng := NewEngine(raw), NewEngine(tier)
+	const day = int64(86400)
+	windows := []Selection{
+		{},                                   // full extent
+		{From: first + 777, To: last - 1313}, // unaligned edges
+		{From: alignUp(first, day), To: alignUp(first, day) + day}, // one aligned day
+		{From: first + 10, To: first + 400},                        // narrower than any tier bucket
+	}
+	for _, g := range []Granularity{GranHourly, Gran4Hourly, GranDaily, GranWeekly, GranMonthly} {
+		for _, fn := range []AggFunc{AggSum, AggMean, AggMin, AggMax} {
+			for wi, sel := range windows {
+				for _, id := range []int64{1, 2} {
+					want, err := rawEng.MeterSeries(id, sel, g, fn)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := tierEng.MeterSeries(id, sel, g, fn)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("%s/%s window %d meter %d: %d buckets, want %d", g, fn, wi, id, len(got), len(want))
+					}
+					for i := range got {
+						if got[i].Start != want[i].Start || got[i].Count != want[i].Count || !valueEqual(got[i].Value, want[i].Value) {
+							t.Fatalf("%s/%s window %d meter %d bucket %d:\n tier %+v\n raw  %+v", g, fn, wi, id, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWindowSumTierMatchesRaw(t *testing.T) {
+	raw, tier, first, last := buildTierPair(t, nil) // default tiers
+	rawEng, tierEng := NewEngine(raw), NewEngine(tier)
+	windows := [][2]int64{
+		{first, last + 1},
+		{first + 501, last - 2000},
+		{first + 10, first + 120}, // too narrow for any tier: both decode raw
+	}
+	for wi, w := range windows {
+		for _, id := range []int64{1, 2} {
+			wantSum, wantN, err := rawEng.windowSum(id, w[0], w[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotSum, gotN, err := tierEng.windowSum(id, w[0], w[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotN != wantN {
+				t.Fatalf("window %d meter %d: count %d, want %d", wi, id, gotN, wantN)
+			}
+			// The tier interior adds per-bucket subtotals, so the sum may
+			// differ from the flat raw fold in the last ulps — but NaN
+			// poisoning and Inf must agree exactly.
+			switch {
+			case math.IsNaN(wantSum):
+				if !math.IsNaN(gotSum) {
+					t.Fatalf("window %d meter %d: sum %v, want NaN", wi, id, gotSum)
+				}
+			case math.IsInf(wantSum, 0):
+				if gotSum != wantSum {
+					t.Fatalf("window %d meter %d: sum %v, want %v", wi, id, gotSum, wantSum)
+				}
+			default:
+				if diff := math.Abs(gotSum - wantSum); diff > 1e-9*math.Max(1, math.Abs(wantSum)) {
+					t.Fatalf("window %d meter %d: sum %v, want %v (diff %g)", wi, id, gotSum, wantSum, diff)
+				}
+			}
+		}
+	}
+}
+
+// TestDemandSnapshotTierConsistency runs a density endpoint end to end on
+// the paired stores: the normalized weights must agree within float noise.
+func TestDemandSnapshotTierConsistency(t *testing.T) {
+	raw, tier, first, last := buildTierPair(t, nil)
+	rawEng, tierEng := NewEngine(raw), NewEngine(tier)
+	want, err := rawEng.DemandSnapshot(Selection{}, first, last+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tierEng.DemandSnapshot(Selection{}, first, last+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d points, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].MeterID != want[i].MeterID {
+			t.Fatalf("point %d meter %d, want %d", i, got[i].MeterID, want[i].MeterID)
+		}
+		if diff := math.Abs(got[i].Weight - want[i].Weight); diff > 1e-9 {
+			t.Fatalf("point %d weight %v, want %v", i, got[i].Weight, want[i].Weight)
+		}
+	}
+}

@@ -29,12 +29,27 @@ type Series struct {
 	// (Append here; registration/replacement by the Store). Guarded by the
 	// owner's shard lock, like every other field.
 	ver uint64
+	// rollups are the pre-aggregated tiers maintained on append; see
+	// rollup.go. Empty when the owning store disables rollups.
+	rollups []rollupTier
 }
 
-// NewSeries returns an empty series for the given meter. A fresh series
-// starts at version 1: its registration is itself a mutation.
+// NewSeries returns an empty series for the given meter, with no rollup
+// tiers. A fresh series starts at version 1: its registration is itself a
+// mutation.
 func NewSeries(meterID int64) *Series {
 	return &Series{MeterID: meterID, head: NewEncoder(), ver: 1}
+}
+
+// NewSeriesRollup returns an empty series maintaining rollup tiers at the
+// given resolutions (seconds, ascending).
+func NewSeriesRollup(meterID int64, res []int64) *Series {
+	s := NewSeries(meterID)
+	s.rollups = make([]rollupTier, len(res))
+	for i, r := range res {
+		s.rollups[i] = rollupTier{res: r}
+	}
+	return s
 }
 
 // Version returns the per-meter version.
@@ -68,6 +83,17 @@ func (s *Series) CheckAppend(smp Sample) error {
 // Append adds one sample. Timestamps must be strictly increasing across the
 // series lifetime.
 func (s *Series) Append(smp Sample) error {
+	if err := s.appendRaw(smp); err != nil {
+		return err
+	}
+	s.foldRollups(smp)
+	return nil
+}
+
+// appendRaw is Append without the rollup fold: the bulk-load path for v2
+// snapshots, whose tiers are persisted and installed separately (folding
+// here too would double-count).
+func (s *Series) appendRaw(smp Sample) error {
 	if err := s.CheckAppend(smp); err != nil {
 		return err
 	}
@@ -145,6 +171,47 @@ const (
 
 // ErrEmptySeries is returned by operations requiring data.
 var ErrEmptySeries = errors.New("store: empty series")
+
+// retainedFrom returns the first timestamp retention at cutoff keeps:
+// whole sealed chunks with maxTS < cutoff age out, everything from the
+// first surviving chunk (or the head) stays. Chunk-granular on purpose —
+// the snapshot capture and the in-memory prune apply the same rule, so
+// what a retention-trimmed snapshot persists is exactly what memory keeps.
+// Returns the retained sample count alongside; (0, 0) for an all-aged or
+// empty series.
+func (s *Series) retainedFrom(cutoff int64) (from int64, count int) {
+	count = s.total
+	for _, c := range s.sealed {
+		if c.maxTS >= cutoff {
+			return c.minTS, count
+		}
+		count -= c.count
+	}
+	if s.head.Len() > 0 {
+		return s.headMinTS, count
+	}
+	return 0, 0
+}
+
+// pruneRawBefore drops sealed chunks wholly older than cutoff (the
+// retention rule of retainedFrom), bumping the version when anything was
+// dropped so caches keyed on it invalidate — aging raw data out changes
+// what raw scans observe. Rollup tiers are untouched: they are what
+// survives. Returns the number of samples dropped.
+func (s *Series) pruneRawBefore(cutoff int64) int {
+	n, dropped := 0, 0
+	for n < len(s.sealed) && s.sealed[n].maxTS < cutoff {
+		dropped += s.sealed[n].count
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	s.total -= dropped
+	s.sealed = append([]*chunk(nil), s.sealed[n:]...)
+	s.ver++
+	return dropped
+}
 
 // Bounds returns the first and last timestamps. Both ends are O(1): chunk
 // boundaries and the head min/max are tracked on append, never decoded.

@@ -51,6 +51,18 @@ type Options struct {
 	// shard. <= 0 selects 16; other values are rounded up to the next
 	// power of two.
 	Shards int
+	// RollupRes lists the rollup tier resolutions, in seconds, to maintain
+	// per meter (see rollup.go). nil selects DefaultRollupRes (hourly +
+	// daily); an explicitly empty non-nil slice disables rollups. Values
+	// are sorted and deduplicated; non-positive entries are dropped.
+	RollupRes []int64
+	// RetainRaw ages raw samples out of snapshots: when > 0, each Snapshot
+	// drops sealed chunks wholly older than (newest sample - RetainRaw)
+	// from both the snapshot file and memory. Rollup tiers are never aged,
+	// so coarse aggregates survive past the raw horizon. Zero keeps raw
+	// data forever. The cutoff is data time, not wall time: it trails the
+	// newest stored sample.
+	RetainRaw time.Duration
 }
 
 const defaultShards = 16
@@ -78,6 +90,9 @@ type Store struct {
 	shards  []*shard
 	mask    uint64
 	opts    Options
+	// rollupRes is the normalized tier resolution set (ascending, deduped)
+	// every series maintains. Immutable after Open.
+	rollupRes []int64
 	// wal is the segmented group-commit log. Records are enqueued under the
 	// owning shard lock (so per-meter WAL order matches series order and
 	// replay never drops an append as out-of-order) and committed — one
@@ -151,10 +166,11 @@ func Open(opts Options) (*Store, error) {
 	}
 	n = nextPow2(n)
 	s := &Store{
-		catalog: NewCatalog(),
-		shards:  make([]*shard, n),
-		mask:    uint64(n - 1),
-		opts:    opts,
+		catalog:   NewCatalog(),
+		shards:    make([]*shard, n),
+		mask:      uint64(n - 1),
+		opts:      opts,
+		rollupRes: normalizeRollupRes(opts.RollupRes),
 	}
 	for i := range s.shards {
 		s.shards[i] = &shard{series: make(map[int64]*Series)}
@@ -267,7 +283,7 @@ func (s *Store) putMeterShardLocked(sh *shard, m Meter) error {
 	if ser, ok := sh.series[m.ID]; ok {
 		ser.ver++
 	} else {
-		sh.series[m.ID] = NewSeries(m.ID)
+		sh.series[m.ID] = NewSeriesRollup(m.ID, s.rollupRes)
 	}
 	sh.version.Add(1)
 	s.version.Add(1)
@@ -643,6 +659,9 @@ type Stats struct {
 	// LastSnapshotUnix is the wall-clock second the latest snapshot became
 	// durable in this process; 0 means no snapshot has completed.
 	LastSnapshotUnix int64
+	// Rollups is the per-tier bucket count and byte footprint, ascending by
+	// resolution; nil when rollups are disabled.
+	Rollups []RollupTierStats
 }
 
 // Stats returns aggregate storage statistics.
@@ -659,6 +678,7 @@ func (s *Store) Stats() Stats {
 	st.RawBytes = st.Samples * 16
 	st.WALSegments, st.WALBytes = s.WALStats()
 	st.LastSnapshotUnix = s.lastSnapUnix.Load()
+	st.Rollups = s.rollupStats()
 	return st
 }
 
@@ -683,16 +703,27 @@ func (s *Store) Near(p geo.Point, k int) []index.Neighbor { return s.catalog.Nea
 
 // --- Snapshots ---------------------------------------------------------
 
-var snapMagic = [4]byte{'V', 'A', 'P', 'S'}
+// snapMagic marks the legacy v1 snapshot layout (raw samples only);
+// snapMagicV2 the current one, which appends per-meter rollup tiers after
+// each meter's samples so tiers survive retention aging raw data out.
+// Open reads both: a v1 file simply rebuilds its tiers from the raw
+// samples it still fully contains.
+var (
+	snapMagic   = [4]byte{'V', 'A', 'P', 'S'}
+	snapMagicV2 = [4]byte{'V', 'A', 'P', '2'}
+)
 
 // snapEntry is one meter's captured state: metadata, the sample count at
-// capture time, and a point-in-time iterator (immutable sealed chunks plus
-// a private head copy — the same mechanism Store.Iter uses), so the disk
-// write needs no locks at all.
+// capture time, a point-in-time iterator (immutable sealed chunks plus
+// a private head copy — the same mechanism Store.Iter uses), and the
+// rollup tier capture — so the disk write needs no locks at all. With
+// retention active, count and it cover only the retained raw samples
+// while tiers always cover the full history.
 type snapEntry struct {
 	m     Meter
 	count int
 	it    *SeriesIter
+	tiers []snapTier
 }
 
 // Snapshot atomically writes the full dataset to Dir/snapshot.vap without
@@ -724,6 +755,15 @@ func (s *Store) Snapshot() error {
 			return err
 		}
 	}
+	// Retention cutoff in data time: sealed chunks wholly older than this
+	// are left out of the snapshot and pruned from memory once it is
+	// durable. minInt64 (no retention, or no data yet) retains everything.
+	cutoff := int64(minInt64)
+	if s.opts.RetainRaw > 0 {
+		if _, last, ok := s.TimeBounds(); ok {
+			cutoff = last + 1 - int64(s.opts.RetainRaw/time.Second)
+		}
+	}
 	var entries []snapEntry
 	for _, sh := range s.shards {
 		sh.mu.RLock()
@@ -732,7 +772,15 @@ func (s *Store) Snapshot() error {
 			if !ok {
 				continue
 			}
-			entries = append(entries, snapEntry{m: m, count: ser.Len(), it: ser.Iter(minInt64, maxInt64)})
+			e := snapEntry{m: m, tiers: ser.captureTiers()}
+			if cutoff == minInt64 {
+				e.count, e.it = ser.Len(), ser.Iter(minInt64, maxInt64)
+			} else if retainFrom, cnt := ser.retainedFrom(cutoff); cnt > 0 {
+				e.count, e.it = cnt, ser.Iter(retainFrom, maxInt64)
+			} else {
+				e.it = ser.Iter(0, 0) // every raw sample aged out
+			}
+			entries = append(entries, e)
 		}
 		sh.mu.RUnlock()
 	}
@@ -745,7 +793,7 @@ func (s *Store) Snapshot() error {
 		return err
 	}
 	w := bufio.NewWriterSize(f, 1<<16)
-	if err := writeSnapshot(w, entries); err != nil {
+	if err := writeSnapshot(w, s.rollupRes, entries); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -778,6 +826,24 @@ func (s *Store) Snapshot() error {
 	// failed (and stats-wise stale) snapshot. The next snapshot retries
 	// any segment that could not be removed.
 	s.lastSnapUnix.Store(time.Now().Unix())
+	// Raw data below the cutoff is durably out of the snapshot now; drop
+	// the same chunks from memory (chunk-granular, the identical rule the
+	// capture applied, so disk and memory agree on what survived). New
+	// chunks sealed since the capture are strictly newer and unaffected.
+	if cutoff != minInt64 {
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			pruned := 0
+			for _, ser := range sh.series {
+				pruned += ser.pruneRawBefore(cutoff)
+			}
+			if pruned > 0 {
+				sh.version.Add(1)
+				s.version.Add(1)
+			}
+			sh.mu.Unlock()
+		}
+	}
 	if s.wal != nil {
 		if err := s.wal.DeleteSegmentsBelow(watermark); err != nil {
 			return fmt.Errorf("store: snapshot is durable, but retiring covered WAL segments failed: %w", err)
@@ -786,10 +852,121 @@ func (s *Store) Snapshot() error {
 	return nil
 }
 
-// writeSnapshot serializes: magic, meter count, meters, then per-meter
-// sample runs (count + raw samples) with a trailing CRC of everything.
-// It reads only the captured entries — no store locks are held.
-func writeSnapshot(w io.Writer, entries []snapEntry) error {
+// writeSnapshot serializes the v2 layout: magic, the store's tier
+// resolution list, meter count, then per meter its metadata, retained raw
+// sample run (count + samples), and one bucket array per tier in header
+// order — with a trailing CRC of everything. It reads only the captured
+// entries — no store locks are held.
+func writeSnapshot(w io.Writer, res []int64, entries []snapEntry) error {
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+	if _, err := mw.Write(snapMagicV2[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(mw, binary.LittleEndian, uint32(len(res))); err != nil {
+		return err
+	}
+	for _, r := range res {
+		if err := binary.Write(mw, binary.LittleEndian, r); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(mw, binary.LittleEndian, uint32(len(entries))); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := writeSnapMeter(mw, e); err != nil {
+			return err
+		}
+		// Tiers in header order; captureTiers preserves the store's tier
+		// order, so a mismatch here is a programming error worth failing on.
+		if len(e.tiers) != len(res) {
+			return fmt.Errorf("store: snapshot of meter %d captured %d tiers, store maintains %d", e.m.ID, len(e.tiers), len(res))
+		}
+		for ti, t := range e.tiers {
+			if t.res != res[ti] {
+				return fmt.Errorf("store: snapshot tier order mismatch for meter %d", e.m.ID)
+			}
+			if err := binary.Write(mw, binary.LittleEndian, uint32(t.len())); err != nil {
+				return err
+			}
+			for i := range t.interior {
+				if err := writeRollupBucket(mw, &t.interior[i]); err != nil {
+					return err
+				}
+			}
+			if t.hasTail {
+				if err := writeRollupBucket(mw, &t.tail); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	_, err := w.Write(tail[:])
+	return err
+}
+
+// writeSnapMeter writes one meter's metadata and retained raw samples —
+// the per-meter layout shared by both snapshot versions.
+func writeSnapMeter(mw io.Writer, e snapEntry) error {
+	zone := []byte(e.m.Zone)
+	if err := binary.Write(mw, binary.LittleEndian, e.m.ID); err != nil {
+		return err
+	}
+	if err := binary.Write(mw, binary.LittleEndian, e.m.Location.Lon); err != nil {
+		return err
+	}
+	if err := binary.Write(mw, binary.LittleEndian, e.m.Location.Lat); err != nil {
+		return err
+	}
+	if err := binary.Write(mw, binary.LittleEndian, uint16(len(zone))); err != nil {
+		return err
+	}
+	if _, err := mw.Write(zone); err != nil {
+		return err
+	}
+	if err := binary.Write(mw, binary.LittleEndian, uint32(e.count)); err != nil {
+		return err
+	}
+	written := 0
+	for e.it.Next() {
+		smp := e.it.Sample()
+		if err := binary.Write(mw, binary.LittleEndian, smp.TS); err != nil {
+			return err
+		}
+		if err := binary.Write(mw, binary.LittleEndian, smp.Value); err != nil {
+			return err
+		}
+		written++
+	}
+	if err := e.it.Err(); err != nil {
+		return err
+	}
+	if written != e.count {
+		return fmt.Errorf("store: snapshot of meter %d yielded %d samples, expected %d", e.m.ID, written, e.count)
+	}
+	return nil
+}
+
+func writeRollupBucket(mw io.Writer, b *RollupBucket) error {
+	var buf [rollupBucketBytes]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(b.Start))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(b.Count))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(b.NaN))
+	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(b.Sum))
+	binary.LittleEndian.PutUint64(buf[32:], math.Float64bits(b.Min))
+	binary.LittleEndian.PutUint64(buf[40:], math.Float64bits(b.Max))
+	binary.LittleEndian.PutUint64(buf[48:], math.Float64bits(b.First))
+	binary.LittleEndian.PutUint64(buf[56:], math.Float64bits(b.Last))
+	_, err := mw.Write(buf[:])
+	return err
+}
+
+// writeSnapshotV1 serializes the legacy layout (no tiers). Retained only
+// so the migration path — loading a pre-rollup snapshot — stays testable.
+func writeSnapshotV1(w io.Writer, entries []snapEntry) error {
 	crc := crc32.NewIEEE()
 	mw := io.MultiWriter(w, crc)
 	if _, err := mw.Write(snapMagic[:]); err != nil {
@@ -799,41 +976,8 @@ func writeSnapshot(w io.Writer, entries []snapEntry) error {
 		return err
 	}
 	for _, e := range entries {
-		zone := []byte(e.m.Zone)
-		if err := binary.Write(mw, binary.LittleEndian, e.m.ID); err != nil {
+		if err := writeSnapMeter(mw, e); err != nil {
 			return err
-		}
-		if err := binary.Write(mw, binary.LittleEndian, e.m.Location.Lon); err != nil {
-			return err
-		}
-		if err := binary.Write(mw, binary.LittleEndian, e.m.Location.Lat); err != nil {
-			return err
-		}
-		if err := binary.Write(mw, binary.LittleEndian, uint16(len(zone))); err != nil {
-			return err
-		}
-		if _, err := mw.Write(zone); err != nil {
-			return err
-		}
-		if err := binary.Write(mw, binary.LittleEndian, uint32(e.count)); err != nil {
-			return err
-		}
-		written := 0
-		for e.it.Next() {
-			smp := e.it.Sample()
-			if err := binary.Write(mw, binary.LittleEndian, smp.TS); err != nil {
-				return err
-			}
-			if err := binary.Write(mw, binary.LittleEndian, smp.Value); err != nil {
-				return err
-			}
-			written++
-		}
-		if err := e.it.Err(); err != nil {
-			return err
-		}
-		if written != e.count {
-			return fmt.Errorf("store: snapshot of meter %d yielded %d samples, expected %d", e.m.ID, written, e.count)
 		}
 	}
 	var tail [4]byte
@@ -856,9 +1000,24 @@ func (s *Store) loadSnapshot(path string) error {
 	}
 	r := &sliceReader{data: body}
 	var magic [4]byte
-	if err := r.read(magic[:]); err != nil || magic != snapMagic {
+	if err := r.read(magic[:]); err != nil {
 		return ErrCorrupt
 	}
+	switch magic {
+	case snapMagic:
+		return s.loadSnapshotV1(r)
+	case snapMagicV2:
+		return s.loadSnapshotV2(r)
+	default:
+		return ErrCorrupt
+	}
+}
+
+// loadSnapshotV1 loads a legacy (pre-rollup) snapshot. It routes samples
+// through the normal append path, which folds them into the configured
+// rollup tiers — a v1 file still contains its full raw history, so the
+// rebuilt tiers are exact. This is the migration path for old snapshots.
+func (s *Store) loadSnapshotV1(r *sliceReader) error {
 	nMeters, err := r.uint32()
 	if err != nil {
 		return ErrCorrupt
@@ -916,6 +1075,129 @@ func (s *Store) loadSnapshot(path string) error {
 			return loadErr
 		}
 	}
+	return nil
+}
+
+// loadSnapshotV2 loads the current layout: header tier resolutions, then
+// per meter its retained raw samples followed by the persisted tier bucket
+// arrays. Samples load through appendRaw — no rollup folding — because the
+// tiers come from the file; folding too would double-count. Persisted
+// tiers whose resolution the store still maintains install verbatim; any
+// newly configured resolution is derived from the retained raw samples
+// (exact until retention has aged data out, best-effort after).
+func (s *Store) loadSnapshotV2(r *sliceReader) error {
+	nRes, err := r.uint32()
+	if err != nil {
+		return ErrCorrupt
+	}
+	fileRes := make([]int64, nRes)
+	for i := range fileRes {
+		if fileRes[i], err = r.int64(); err != nil {
+			return ErrCorrupt
+		}
+	}
+	nMeters, err := r.uint32()
+	if err != nil {
+		return ErrCorrupt
+	}
+	for i := uint32(0); i < nMeters; i++ {
+		id, err := r.int64()
+		if err != nil {
+			return ErrCorrupt
+		}
+		lon, err := r.float64()
+		if err != nil {
+			return ErrCorrupt
+		}
+		lat, err := r.float64()
+		if err != nil {
+			return ErrCorrupt
+		}
+		zlen, err := r.uint16()
+		if err != nil {
+			return ErrCorrupt
+		}
+		zone := make([]byte, zlen)
+		if err := r.read(zone); err != nil {
+			return ErrCorrupt
+		}
+		m := Meter{ID: id, Location: geo.Point{Lon: lon, Lat: lat}, Zone: ZoneType(zone)}
+		if err := s.replayMeter(m); err != nil {
+			return err
+		}
+		nSamples, err := r.uint32()
+		if err != nil {
+			return ErrCorrupt
+		}
+		sh := s.shardFor(id)
+		sh.mu.Lock()
+		ser := sh.series[id]
+		var loadErr error
+		for j := uint32(0); j < nSamples; j++ {
+			ts, err := r.int64()
+			if err != nil {
+				loadErr = ErrCorrupt
+				break
+			}
+			v, err := r.float64()
+			if err != nil {
+				loadErr = ErrCorrupt
+				break
+			}
+			if err := ser.appendRaw(Sample{TS: ts, Value: v}); err != nil {
+				loadErr = err
+				break
+			}
+		}
+		if loadErr == nil && nSamples > 0 {
+			sh.version.Add(uint64(nSamples))
+			s.version.Add(uint64(nSamples))
+		}
+		if loadErr == nil {
+			file := make([]rollupTier, len(fileRes))
+			for ti := range fileRes {
+				nb, err := r.uint32()
+				if err != nil {
+					loadErr = ErrCorrupt
+					break
+				}
+				buckets := make([]RollupBucket, nb)
+				for bi := range buckets {
+					if err := readRollupBucket(r, &buckets[bi]); err != nil {
+						loadErr = ErrCorrupt
+						break
+					}
+				}
+				if loadErr != nil {
+					break
+				}
+				file[ti] = rollupTier{res: fileRes[ti], buckets: buckets}
+			}
+			if loadErr == nil {
+				loadErr = ser.installRollups(s.rollupRes, file)
+			}
+		}
+		sh.mu.Unlock()
+		if loadErr != nil {
+			return loadErr
+		}
+	}
+	return nil
+}
+
+func readRollupBucket(r *sliceReader, b *RollupBucket) error {
+	var buf [rollupBucketBytes]byte
+	if err := r.read(buf[:]); err != nil {
+		return err
+	}
+	b.Start = int64(binary.LittleEndian.Uint64(buf[0:]))
+	b.Count = int64(binary.LittleEndian.Uint64(buf[8:]))
+	b.NaN = int64(binary.LittleEndian.Uint64(buf[16:]))
+	b.Sum = math.Float64frombits(binary.LittleEndian.Uint64(buf[24:]))
+	b.Min = math.Float64frombits(binary.LittleEndian.Uint64(buf[32:]))
+	b.Max = math.Float64frombits(binary.LittleEndian.Uint64(buf[40:]))
+	b.First = math.Float64frombits(binary.LittleEndian.Uint64(buf[48:]))
+	b.Last = math.Float64frombits(binary.LittleEndian.Uint64(buf[56:]))
 	return nil
 }
 

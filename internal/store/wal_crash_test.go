@@ -14,6 +14,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -96,6 +97,61 @@ func sampleTSSet(t *testing.T, st *Store, id int64) map[int64]bool {
 	return set
 }
 
+// rollupBucketEqual compares two buckets bitwise — NaN payloads included —
+// so a tier that diverges by even one float bit is caught.
+func rollupBucketEqual(a, b *RollupBucket) bool {
+	return a.Start == b.Start && a.Count == b.Count && a.NaN == b.NaN &&
+		math.Float64bits(a.Sum) == math.Float64bits(b.Sum) &&
+		math.Float64bits(a.Min) == math.Float64bits(b.Min) &&
+		math.Float64bits(a.Max) == math.Float64bits(b.Max) &&
+		math.Float64bits(a.First) == math.Float64bits(b.First) &&
+		math.Float64bits(a.Last) == math.Float64bits(b.Last)
+}
+
+// checkRollupsRebuilt asserts every meter's in-memory rollup tiers equal a
+// from-scratch fold of the recovered raw samples — the invariant that
+// recovery (snapshot tier load, WAL replay folding, or both) never
+// diverges from what straight ingest would have built.
+func checkRollupsRebuilt(t *testing.T, st *Store) {
+	t.Helper()
+	for _, id := range st.Catalog().IDs() {
+		smps, err := st.Range(id, minInt64, maxInt64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := NewSeriesRollup(id, st.rollupRes)
+		for _, smp := range smps {
+			ref.foldRollups(smp)
+		}
+		want := ref.captureTiers()
+		sh := st.shardFor(id)
+		sh.mu.RLock()
+		got := sh.series[id].captureTiers()
+		sh.mu.RUnlock()
+		if len(got) != len(want) {
+			t.Fatalf("meter %d: recovered %d tiers, want %d", id, len(got), len(want))
+		}
+		for i := range got {
+			g, w := &got[i], &want[i]
+			if g.res != w.res || len(g.interior) != len(w.interior) || g.hasTail != w.hasTail {
+				t.Errorf("meter %d tier %d: shape (res=%d interior=%d tail=%t), want (res=%d interior=%d tail=%t)",
+					id, i, g.res, len(g.interior), g.hasTail, w.res, len(w.interior), w.hasTail)
+				continue
+			}
+			for j := range g.interior {
+				if !rollupBucketEqual(&g.interior[j], &w.interior[j]) {
+					t.Errorf("meter %d %ds tier: recovered bucket %d diverges from a from-scratch rebuild: %+v vs %+v",
+						id, g.res, j, g.interior[j], w.interior[j])
+					break
+				}
+			}
+			if g.hasTail && !rollupBucketEqual(&g.tail, &w.tail) {
+				t.Errorf("meter %d %ds tier: recovered tail bucket diverges: %+v vs %+v", id, g.res, g.tail, w.tail)
+			}
+		}
+	}
+}
+
 // checkRecovery opens dir and asserts exactly wantTS survived for meter 1,
 // then appends TS=100, reopens, and asserts the new sample is recoverable
 // too — the headline guarantee that post-crash appends never land behind
@@ -115,6 +171,7 @@ func checkRecovery(t *testing.T, dir string, wantTS []int64) {
 			t.Errorf("sample TS=%d lost in recovery", ts)
 		}
 	}
+	checkRollupsRebuilt(t, st)
 	if err := st.Append(1, Sample{TS: 100, Value: 100}); err != nil {
 		t.Fatalf("post-crash append: %v", err)
 	}
@@ -390,6 +447,7 @@ func TestWALReplayNewShardCount(t *testing.T) {
 				t.Errorf("shards=%d meter %d: %d samples, want %d", shards, m, len(set), perMeter)
 			}
 		}
+		checkRollupsRebuilt(t, st2)
 		st2.Close()
 	}
 }
@@ -447,6 +505,77 @@ func TestWALRotationLifecycle(t *testing.T) {
 	defer st.Close()
 	if set := sampleTSSet(t, st, 1); len(set) != n+10 {
 		t.Errorf("snapshot+suffix recovery: %d samples, want %d", len(set), n+10)
+	}
+	checkRollupsRebuilt(t, st)
+}
+
+// TestRecoveryRebuildsRollups spans real tier widths (the matrix above uses
+// second-scale timestamps that stay inside one bucket): days of 15-minute
+// samples with NaN/±Inf readings, recovered via snapshot + WAL suffix, must
+// carry tiers bit-identical to a from-scratch rebuild — including when the
+// reopen asks for a tier the snapshot never persisted (derived from raw on
+// load) or for no tiers at all.
+func TestRecoveryRebuildsRollups(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const day = int64(86400)
+	for m := int64(1); m <= 3; m++ {
+		if err := st.PutMeter(Meter{ID: m, Location: testPoint(float64(m)*0.01, 0), Zone: ZoneResidential}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4*96; i++ { // four days at 15-minute cadence
+			v := float64(i%7) * 1.5
+			switch i % 53 {
+			case 11:
+				v = math.NaN()
+			case 29:
+				v = math.Inf(1)
+			}
+			if err := st.Append(m, Sample{TS: int64(i)*900 + m, Value: v}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := st.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// A WAL suffix past the snapshot: replay must fold these into the
+	// snapshot-loaded tiers.
+	for m := int64(1); m <= 3; m++ {
+		for i := 4 * 96; i < 5*96; i++ {
+			if err := st.Append(m, Sample{TS: int64(i)*900 + m, Value: float64(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		res  []int64
+	}{
+		{"snapshotTiers", nil},                       // default hourly+daily, as persisted
+		{"derivedTier", []int64{3600, 14400, 86400}}, // 4-hourly derived from raw on load
+		{"singleTier", []int64{day}},                 // subset of what the snapshot holds
+		{"disabled", []int64{}},                      // no tiers at all
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st, err := Open(Options{Dir: dir, RollupRes: tc.res})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			if set := sampleTSSet(t, st, 1); len(set) != 5*96 {
+				t.Fatalf("recovered %d samples, want %d", len(set), 5*96)
+			}
+			checkRollupsRebuilt(t, st)
+		})
 	}
 }
 
@@ -733,6 +862,7 @@ func TestWALKillRecovery(t *testing.T) {
 					t.Fatalf("acked sample %d (meter %d) lost after kill; lastAck=%d", i, m, lastAck)
 				}
 			}
+			checkRollupsRebuilt(t, st)
 			// And the store must still accept + recover new writes.
 			if err := st.Append(lastAck%4+1, Sample{TS: lastAck + 1_000_000, Value: 1}); err != nil {
 				t.Errorf("post-kill append: %v", err)

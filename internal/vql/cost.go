@@ -1,6 +1,8 @@
 package vql
 
 import (
+	"fmt"
+
 	"vap/internal/query"
 	"vap/internal/store"
 )
@@ -49,18 +51,34 @@ type ScanCost struct {
 	Buckets  int // dense bucket count (0 unless Strategy == GroupDense)
 	Workers  int // chosen fan-out width
 	Chunks   int // contiguous meter chunks handed to workers
+
+	// TierRes is the rollup tier resolution chosen to serve the scan; 0
+	// means a raw-block scan, with TierReason naming why. When non-zero,
+	// TierBuckets/TierEdges estimate the interior tier buckets read and the
+	// raw samples decoded for the unaligned window edges.
+	TierRes     int64
+	TierBuckets int64
+	TierEdges   int64
+	TierReason  string
+
+	// overlap counts the meters whose extent intersects the window — the
+	// tier cost model's bucket-count multiplier.
+	overlap int
 }
 
 // planScan estimates the cost of scanning ids over [from, to) from
-// per-series stats and picks the grouping strategy and parallelism degree.
-// The returned bounds are the dense path's ascending bucket starts (nil for
-// the other strategies).
-func planScan(p *Plan, stats []store.SeriesStats, from, to int64, engineWorkers int) (ScanCost, []int64) {
+// per-series stats and picks the serving tier (if any), the grouping
+// strategy, and the parallelism degree. tiers lists the store's maintained
+// rollup resolutions (ascending; nil disables tier serving). The returned
+// bounds are the dense path's ascending bucket starts (nil for the other
+// strategies).
+func planScan(p *Plan, stats []store.SeriesStats, from, to int64, engineWorkers int, tiers []int64) (ScanCost, []int64) {
 	c := ScanCost{Meters: len(stats)}
 	for _, s := range stats {
 		if s.Samples == 0 || s.MaxTS < from || s.MinTS >= to {
 			continue
 		}
+		c.overlap++
 		// Fraction of the series extent the window covers, assuming samples
 		// spread evenly across [MinTS, MaxTS] — exact for the regular feeds
 		// meters produce, a safe overestimate for bursty ones.
@@ -95,14 +113,21 @@ func planScan(p *Plan, stats []store.SeriesStats, from, to int64, engineWorkers 
 	} else {
 		c.Strategy = GroupMap
 	}
+	planTier(p, &c, from, to, tiers)
 
+	// Fan-out sizes to the work actually done: tier buckets merged plus
+	// edge samples decoded when a tier serves, decoded samples otherwise.
+	effort := c.EstSamples
+	if c.TierRes != 0 {
+		effort = c.TierBuckets + c.TierEdges
+	}
 	w := engineWorkers
 	if w > c.Meters {
 		w = c.Meters
 	}
 	// Don't fan out further than the data pays for: each extra worker must
 	// have a full quantum of samples to chew on.
-	if maxUseful := int(c.EstSamples/minSamplesPerWorker) + 1; w > maxUseful {
+	if maxUseful := int(effort/minSamplesPerWorker) + 1; w > maxUseful {
 		w = maxUseful
 	}
 	if w < 1 {
@@ -122,6 +147,101 @@ func planScan(p *Plan, stats []store.SeriesStats, from, to int64, engineWorkers 
 		c.Chunks = 1
 	}
 	return c, bounds
+}
+
+// tierBucketWidth returns the fixed bucket width of g when every bucket of
+// g is one resolution-aligned interval, or 0 when it is not. Weekly buckets
+// are Monday-aligned (a 604800s tier would sit on epoch-Thursday phase) and
+// the calendar units are variable-width, so only the first three qualify.
+func tierBucketWidth(g query.Granularity) int64 {
+	switch g {
+	case query.GranHourly:
+		return 3600
+	case query.Gran4Hourly:
+		return 4 * 3600
+	case query.GranDaily:
+		return 24 * 3600
+	default:
+		return 0
+	}
+}
+
+// planTier decides whether a rollup tier serves the scan. The rule is
+// deliberately strict — the tier resolution must equal the query's bucket
+// width — because then every interior query bucket is exactly one tier
+// bucket, whose state was folded sample-by-sample in the same order the raw
+// executor would have used: every aggregate (sums included, NaN/±Inf
+// included) is bit-identical to a raw scan. Coarser-than-tier buckets
+// (weekly from a daily tier) would merge several tier sums and perturb
+// float results in the last ulp, so they scan raw. Unaligned window edges
+// always scan raw: a partial edge bucket's tier state would cover samples
+// outside the window.
+func planTier(p *Plan, c *ScanCost, from, to int64, tiers []int64) {
+	if len(tiers) == 0 {
+		c.TierReason = "no rollup tiers maintained"
+		return
+	}
+	if !p.hasBucket {
+		c.TierReason = "no bucket dimension (raw fold keeps the sum order bit-exact)"
+		return
+	}
+	width := tierBucketWidth(p.Granularity())
+	if width == 0 {
+		c.TierReason = string(p.Granularity()) + " buckets are not tier-aligned"
+		return
+	}
+	have := false
+	for _, r := range tiers {
+		if r == width {
+			have = true
+			break
+		}
+	}
+	if !have {
+		c.TierReason = fmt.Sprintf("no %ds tier maintained", width)
+		return
+	}
+	aFrom := alignUp(from, width)
+	aTo := alignDown(to, width)
+	if aTo <= aFrom {
+		c.TierReason = "window narrower than one tier bucket"
+		return
+	}
+	// Interior buckets: at most one per aligned interval per overlapping
+	// meter; edge samples: the window-overlap estimate scaled by the edge
+	// share of the window. Both upper bounds — sparse meters have fewer.
+	estBuckets := int64(c.overlap) * ((aTo - aFrom) / width)
+	if estBuckets > c.EstSamples {
+		estBuckets = c.EstSamples
+	}
+	edgeFrac := float64((aFrom-from)+(to-aTo)) / float64(to-from)
+	estEdges := int64(edgeFrac*float64(c.EstSamples) + 0.5)
+	if tierCost := estBuckets + estEdges; tierCost*2 >= c.EstSamples {
+		c.TierReason = fmt.Sprintf("tier would read ~%d units vs ~%d raw samples; not worth it", tierCost, c.EstSamples)
+		return
+	}
+	c.TierRes = width
+	c.TierBuckets = estBuckets
+	c.TierEdges = estEdges
+}
+
+// alignUp rounds ts up to the next multiple of w (identity when aligned);
+// alignDown rounds toward -inf. Both are negative-safe.
+func alignUp(ts, w int64) int64 {
+	if m := tmod(ts, w); m != 0 {
+		return ts + (w - m)
+	}
+	return ts
+}
+
+func alignDown(ts, w int64) int64 { return ts - tmod(ts, w) }
+
+func tmod(a, m int64) int64 {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
 }
 
 // bucketBounds enumerates the ascending bucket starts covering [from, to),

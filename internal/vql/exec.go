@@ -166,6 +166,24 @@ func (a *aggState) merge(b *aggState) {
 	}
 }
 
+// mergeRollup folds one pre-aggregated tier bucket into the state. A tier
+// bucket's fields were folded sample-by-sample in the same order add would
+// have used, so merging a whole aligned bucket into a fresh state yields
+// exactly the state a raw scan of those samples would have produced.
+func (a *aggState) mergeRollup(b *store.RollupBucket) {
+	a.sum += b.Sum
+	a.count += b.Count
+	a.nan += b.NaN
+	if b.Count > 0 {
+		if b.Min < a.min {
+			a.min = b.Min
+		}
+		if b.Max > a.max {
+			a.max = b.Max
+		}
+	}
+}
+
 // finiteOrNull maps non-finite aggregate results to null: NaN and ±Inf
 // have no JSON encoding, and a bucket whose aggregate overflowed carries
 // no usable value anyway.
@@ -276,7 +294,7 @@ func ExecuteResolved(ctx context.Context, eng *query.Engine, p *Plan, ids []int6
 	if !windowOK {
 		from, to = 0, 0
 	}
-	cost, bounds := planScan(p, eng.Store().SeriesStats(ids), from, to, eng.Workers())
+	cost, bounds := planScan(p, eng.Store().SeriesStats(ids), from, to, eng.Workers(), eng.Store().RollupResolutions())
 	res.Plan = explainText(p, &cost, true)
 	if len(ids) == 0 || !windowOK {
 		res.Rows = p.buildRows(nil)
@@ -292,6 +310,11 @@ func ExecuteResolved(ctx context.Context, eng *query.Engine, p *Plan, ids []int6
 	// split (float addition is not associative; collapsing a chunk's meters
 	// into shared state would tie result bytes to the fan-out choice).
 	sc := newScanConfig(p, eng, bounds, from, to)
+	if cost.TierRes != 0 {
+		sc.tierRes = cost.TierRes
+		sc.aFrom = alignUp(from, cost.TierRes)
+		sc.aTo = alignDown(to, cost.TierRes)
+	}
 	sink := newGroupSink(sc)
 	vers := make([]uint64, len(ids))
 	if cost.Chunks == 1 {
@@ -438,6 +461,11 @@ type scanConfig struct {
 	minMax     bool
 	bounds     []int64 // dense: ascending bucket starts (nil otherwise)
 	ends       []int64 // dense: exclusive end per bucket, last = sentinel
+	// tierRes != 0 routes the scan through the store's rollup tier of that
+	// resolution: interior buckets [aFrom, aTo) merge pre-aggregated, the
+	// window edges outside them decode raw.
+	tierRes    int64
+	aFrom, aTo int64
 }
 
 func newScanConfig(p *Plan, eng *query.Engine, bounds []int64, from, to int64) *scanConfig {
@@ -505,6 +533,48 @@ func (sc *scanConfig) scanChunk(ctx context.Context, ids []int64, vers []uint64,
 			if m, ok := cat.Get(id); ok {
 				base.zone = m.Zone
 			}
+		}
+		if sc.tierRes != 0 {
+			if sc.bounds != nil {
+				// Tier-served dense scan: interior buckets merge by index
+				// arithmetic into the same bucket-indexed scratch the raw
+				// path uses — no group-key hashing on the hot path.
+				n, lo, hi, ver, terr := sc.scanTierDense(id, batch, dense)
+				if terr != nil {
+					return 0, terr
+				}
+				vers[i] = ver
+				samples += n
+				if sink != nil {
+					if hi > lo {
+						sink.addDense(base, dense[lo:hi], lo)
+					}
+				} else {
+					var cp []aggState
+					if hi > lo {
+						cp = make([]aggState, hi-lo)
+						copy(cp, dense[lo:hi])
+					}
+					partials[i] = meterPartial{dense: cp, lo: lo, base: base, n: n}
+				}
+				for bi := lo; bi < hi; bi++ {
+					dense[bi] = aggState{min: math.Inf(1), max: math.Inf(-1)}
+				}
+				continue
+			}
+			local := make(map[groupKey]*aggState)
+			n, ver, terr := sc.scanTier(id, base, batch, local)
+			if terr != nil {
+				return 0, terr
+			}
+			vers[i] = ver
+			samples += n
+			if sink != nil {
+				sink.addMap(local)
+			} else {
+				partials[i] = meterPartial{groups: local, n: n}
+			}
+			continue
 		}
 		it, err := sc.eng.Store().Iter(id, sc.from, sc.to)
 		if err != nil {
@@ -660,6 +730,115 @@ func (sc *scanConfig) scanSingle(it *store.SeriesIter, batch *store.Batch, base 
 		}
 	}
 	return n, it.Err()
+}
+
+// scanTier folds one meter through its rollup tier: a consistent capture
+// (raw edge iterators + interior tier buckets, all under one lock
+// acquisition) merges in time order — left edge raw, interior buckets
+// ascending, right edge raw. Because the planner only serves tiers whose
+// resolution equals the bucket width, each interior query bucket receives
+// exactly one tier bucket and each edge bucket only raw samples, so every
+// group's state is bit-identical to what a raw scan would have built.
+// Returns the meter's in-window sample count (edge samples decoded plus
+// the samples summarized by the merged buckets) and its capture version.
+func (sc *scanConfig) scanTier(id int64, base groupKey, batch *store.Batch, local map[groupKey]*aggState) (int, uint64, error) {
+	tsc, err := sc.eng.Store().TierScan(id, sc.tierRes, sc.from, sc.aFrom, sc.aTo, sc.to)
+	if err != nil {
+		return 0, 0, err
+	}
+	n := 0
+	if tsc.Left != nil {
+		en, err := sc.foldEdge(tsc.Left, batch, base, local)
+		if err != nil {
+			return 0, 0, err
+		}
+		n += en
+	}
+	tsc.Buckets(func(b *store.RollupBucket) {
+		key := base
+		if sc.hasBucket {
+			key.bucket = sc.gran.Truncate(b.Start)
+		}
+		cur := local[key]
+		if cur == nil {
+			cur = newAggState()
+			local[key] = cur
+		}
+		cur.mergeRollup(b)
+		n += int(b.Count + b.NaN)
+	})
+	if tsc.Right != nil {
+		en, err := sc.foldEdge(tsc.Right, batch, base, local)
+		if err != nil {
+			return 0, 0, err
+		}
+		n += en
+	}
+	return n, tsc.Version, nil
+}
+
+// scanTierDense is scanTier for the dense grouping strategy: edges decode
+// raw through the scanDense kernel, interior tier buckets merge straight
+// into the bucket-indexed scratch at (Start-bounds[0])/tierRes — exact
+// because the serving rule guarantees tierRes equals the bucket width, so
+// bucket starts ascend in tierRes steps from bounds[0]. Returns the
+// touched bucket-index range [lo, hi) alongside the sample count and the
+// meter's snapshot version.
+func (sc *scanConfig) scanTierDense(id int64, batch *store.Batch, dense []aggState) (n, lo, hi int, ver uint64, err error) {
+	tsc, terr := sc.eng.Store().TierScan(id, sc.tierRes, sc.from, sc.aFrom, sc.aTo, sc.to)
+	if terr != nil {
+		return 0, 0, 0, 0, terr
+	}
+	ver = tsc.Version
+	first := true
+	touch := func(l, h int) {
+		if h <= l {
+			return
+		}
+		if first {
+			lo, hi, first = l, h, false
+			return
+		}
+		if l < lo {
+			lo = l
+		}
+		if h > hi {
+			hi = h
+		}
+	}
+	if tsc.Left != nil {
+		en, el, eh, eerr := sc.scanDense(tsc.Left, batch, dense)
+		if eerr != nil {
+			return 0, 0, 0, 0, eerr
+		}
+		n += en
+		touch(el, eh)
+	}
+	b0 := sc.bounds[0]
+	tsc.Buckets(func(b *store.RollupBucket) {
+		bi := int((b.Start - b0) / sc.tierRes)
+		dense[bi].mergeRollup(b)
+		n += int(b.Count + b.NaN)
+		touch(bi, bi+1)
+	})
+	if tsc.Right != nil {
+		en, el, eh, eerr := sc.scanDense(tsc.Right, batch, dense)
+		if eerr != nil {
+			return 0, 0, 0, 0, eerr
+		}
+		n += en
+		touch(el, eh)
+	}
+	return n, lo, hi, ver, nil
+}
+
+// foldEdge decodes one raw edge of a tier-served scan with the matching
+// grouping kernel.
+func (sc *scanConfig) foldEdge(it *store.SeriesIter, batch *store.Batch, base groupKey, local map[groupKey]*aggState) (int, error) {
+	if sc.hasBucket {
+		return sc.scanMap(it, batch, base, local)
+	}
+	return sc.scanSingle(it, batch, base, local)
 }
 
 // ExecuteResolvedScalar is the sample-at-a-time reference executor: the

@@ -161,7 +161,7 @@ func TestPlanScanCostModel(t *testing.T) {
 	t.Run("overlap fraction", func(t *testing.T) {
 		p := compilePlan(t, `select count(*) from meters`)
 		// Window covering roughly half of each extent.
-		c, _ := planScan(p, stats, 0, 50*hour, 4)
+		c, _ := planScan(p, stats, 0, 50*hour, 4, nil)
 		if c.EstSamples < 80 || c.EstSamples > 120 {
 			t.Errorf("EstSamples = %d, want ~100 (half of 200)", c.EstSamples)
 		}
@@ -176,7 +176,7 @@ func TestPlanScanCostModel(t *testing.T) {
 
 	t.Run("non-overlapping series drop out", func(t *testing.T) {
 		p := compilePlan(t, `select count(*) from meters`)
-		c, _ := planScan(p, stats, 200*hour, 300*hour, 4)
+		c, _ := planScan(p, stats, 200*hour, 300*hour, 4, nil)
 		if c.EstSamples != 0 || c.EstBlocks != 0 {
 			t.Errorf("est = %d samples / %d blocks, want 0/0 outside the extent", c.EstSamples, c.EstBlocks)
 		}
@@ -184,7 +184,7 @@ func TestPlanScanCostModel(t *testing.T) {
 
 	t.Run("dense grouping for enumerable buckets", func(t *testing.T) {
 		p := compilePlan(t, `select bucket(hourly), sum(value) from meters group by bucket(hourly)`)
-		c, bounds := planScan(p, stats, 0, 10*hour, 4)
+		c, bounds := planScan(p, stats, 0, 10*hour, 4, nil)
 		if c.Strategy != GroupDense {
 			t.Fatalf("strategy = %q, want dense", c.Strategy)
 		}
@@ -195,7 +195,7 @@ func TestPlanScanCostModel(t *testing.T) {
 
 	t.Run("map fallback beyond maxDenseBuckets", func(t *testing.T) {
 		p := compilePlan(t, `select bucket(hourly), sum(value) from meters group by bucket(hourly)`)
-		c, bounds := planScan(p, stats, 0, int64(maxDenseBuckets+2)*hour, 4)
+		c, bounds := planScan(p, stats, 0, int64(maxDenseBuckets+2)*hour, 4, nil)
 		if c.Strategy != GroupMap || bounds != nil {
 			t.Errorf("strategy = %q (bounds %d), want map with nil bounds", c.Strategy, len(bounds))
 		}
@@ -207,7 +207,7 @@ func TestPlanScanCostModel(t *testing.T) {
 			{MeterID: 2, Samples: 50000, Blocks: 49, MinTS: 0, MaxTS: 49999 * hour, CompressedBytes: 300000},
 		}
 		p := compilePlan(t, `select count(*) from meters`)
-		c, _ := planScan(p, big, 0, 50000*hour, 8)
+		c, _ := planScan(p, big, 0, 50000*hour, 8, nil)
 		if c.Workers != 2 {
 			t.Errorf("workers = %d, want 2 (capped at meter count)", c.Workers)
 		}

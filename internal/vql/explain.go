@@ -22,14 +22,14 @@ func ExplainString(p *Plan, eng *query.Engine) string {
 	if resolved, err := ResolveScanMeters(eng, p); err == nil {
 		ids = resolved
 	} else if !errors.Is(err, query.ErrNoMeters) {
-		cost, _ := planScan(p, nil, 0, 0, eng.Workers())
+		cost, _ := planScan(p, nil, 0, 0, eng.Workers(), eng.Store().RollupResolutions())
 		return explainText(p, &cost, true)
 	}
 	from, to, ok := p.ResolveWindow(eng.Store())
 	if !ok {
 		from, to = 0, 0
 	}
-	cost, _ := planScan(p, eng.Store().SeriesStats(ids), from, to, eng.Workers())
+	cost, _ := planScan(p, eng.Store().SeriesStats(ids), from, to, eng.Workers(), eng.Store().RollupResolutions())
 	return explainText(p, &cost, true)
 }
 
@@ -110,6 +110,7 @@ func explainText(p *Plan, cost *ScanCost, runtime bool) string {
 		details = append(details, fmt.Sprintf("cost: est %d samples (~%d/meter), %d blocks, %s compressed",
 			cost.EstSamples, perMeter, cost.EstBlocks, humanBytes(cost.EstBytes)))
 		details = append(details, "grouping: "+groupingStr(cost))
+		details = append(details, "tier: "+tierStr(cost))
 		details = append(details, fmt.Sprintf("fanout: %d workers via internal/exec, %d chunks, cancellable",
 			cost.Workers, cost.Chunks))
 	}
@@ -117,6 +118,20 @@ func explainText(p *Plan, cost *ScanCost, runtime bool) string {
 		leaf(i == len(details)-1, d)
 	}
 	return sb.String()
+}
+
+// tierStr renders the planner's tier decision: which rollup tier serves
+// the scan (and its estimated cost), or why the scan reads raw blocks.
+func tierStr(c *ScanCost) string {
+	if c.TierRes != 0 {
+		return fmt.Sprintf("%ds rollup serves interior (est %d buckets + %d raw edge samples)",
+			c.TierRes, c.TierBuckets, c.TierEdges)
+	}
+	reason := c.TierReason
+	if reason == "" {
+		reason = "n/a"
+	}
+	return "raw scan (" + reason + ")"
 }
 
 // groupingStr renders the planner's grouping choice.

@@ -10,12 +10,19 @@
 // the paired VQLExec/Scalar and VQLExec/Vectorized benchmarks the ratio
 // of their ns/op means is recorded as derived.vql_exec_speedup — the
 // within-run, same-binary number the ≥5× vectorization floor is judged
-// on.
+// on. The paired VQLRollup/Raw and VQLRollup/Tier benchmarks likewise
+// record derived.rollup_speedup, the ≥10× tier-serving floor.
+//
+// A trajectory file carries a series name (-series, default "vql") so
+// different artifact files (BENCH_vql.json, BENCH_rollup.json) stay
+// distinguishable; appending to a file whose series differs is an error.
 //
 // Usage:
 //
 //	go test -run XXX -bench 'VQLEndToEnd|VQLExec' -benchmem -count=3 . |
 //	    go run ./tools/benchjson -out BENCH_vql.json -label "my change"
+//	go test -run XXX -bench VQLRollup -benchmem -count=3 . |
+//	    go run ./tools/benchjson -series rollup -out BENCH_rollup.json -label "my change"
 package main
 
 import (
@@ -114,6 +121,14 @@ func parse(r *bufio.Scanner) (run, error) {
 			"vql_exec_speedup": round2(sc["ns_per_op"] / vec["ns_per_op"]),
 		}
 	}
+	raw, okR := out.Benchmarks["VQLRollup/Raw"]
+	tier, okT := out.Benchmarks["VQLRollup/Tier"]
+	if okR && okT && tier["ns_per_op"] > 0 {
+		if out.Derived == nil {
+			out.Derived = map[string]float64{}
+		}
+		out.Derived["rollup_speedup"] = round2(raw["ns_per_op"] / tier["ns_per_op"])
+	}
 	return out, nil
 }
 
@@ -124,6 +139,7 @@ func round2(v float64) float64 {
 func main() {
 	outPath := flag.String("out", "", "trajectory file to append this run to (stdout if empty)")
 	label := flag.String("label", "", "short description of this run")
+	series := flag.String("series", "vql", "trajectory series name; must match an existing -out file's series")
 	flag.Parse()
 
 	entry, err := parse(bufio.NewScanner(os.Stdin))
@@ -134,11 +150,17 @@ func main() {
 	entry.Date = time.Now().UTC().Format("2006-01-02")
 	entry.Label = *label
 
-	traj := trajectory{Series: "vql"}
+	traj := trajectory{Series: *series}
 	if *outPath != "" {
 		if raw, err := os.ReadFile(*outPath); err == nil {
 			if err := json.Unmarshal(raw, &traj); err != nil {
 				fmt.Fprintf(os.Stderr, "benchjson: %s exists but is not a trajectory file: %v\n", *outPath, err)
+				os.Exit(1)
+			}
+			// Appending a run under the wrong series would silently mislabel
+			// the whole file's history; refuse instead.
+			if traj.Series != *series {
+				fmt.Fprintf(os.Stderr, "benchjson: %s holds series %q, refusing to append series %q\n", *outPath, traj.Series, *series)
 				os.Exit(1)
 			}
 		}
@@ -159,9 +181,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	note := ""
 	if d := entry.Derived["vql_exec_speedup"]; d != 0 {
-		fmt.Printf("recorded %d benchmarks to %s (vql_exec_speedup %.2fx)\n", len(entry.Benchmarks), *outPath, d)
-	} else {
-		fmt.Printf("recorded %d benchmarks to %s\n", len(entry.Benchmarks), *outPath)
+		note += fmt.Sprintf(" (vql_exec_speedup %.2fx)", d)
 	}
+	if d := entry.Derived["rollup_speedup"]; d != 0 {
+		note += fmt.Sprintf(" (rollup_speedup %.2fx)", d)
+	}
+	fmt.Printf("recorded %d benchmarks to %s%s\n", len(entry.Benchmarks), *outPath, note)
 }
