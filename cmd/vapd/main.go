@@ -6,7 +6,7 @@
 //
 //	vapd [-addr :8080] [-dir data/] [-seed 42] [-days 365] [-stream] [-interval 10s] [-shards 16]
 //	     [-sync] [-segment-bytes N] [-commit-interval 2ms] [-snapshot-interval 5m]
-//	     [-retain-raw 2160h] [-rollup-res 3600,86400]
+//	     [-retain-raw 2160h] [-rollup-res 3600,86400] [-recover-workers N]
 //
 // With -dir, the store is durable (segmented WAL + snapshots); if the
 // directory is empty a synthetic dataset is generated and snapshotted into
@@ -56,6 +56,7 @@ func main() {
 	snapInterval := flag.Duration("snapshot-interval", 0, "background snapshot cadence; snapshots retire covered WAL segments without blocking ingest (0 = only on demand via POST /api/admin/snapshot)")
 	retainRaw := flag.Duration("retain-raw", 0, "raw-sample retention horizon behind the newest sample; snapshots age older sealed chunks out of disk and memory while rollup tiers keep serving coarse aggregates (0 = keep raw data forever)")
 	rollupRes := flag.String("rollup-res", "", "comma-separated rollup tier resolutions in seconds (empty = default 3600,86400; 'off' disables rollups)")
+	recoverWorkers := flag.Int("recover-workers", 0, "recovery fan-out: workers installing snapshot sections and applying WAL records on open (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	rollups, err := parseRollupRes(*rollupRes)
@@ -70,11 +71,15 @@ func main() {
 		CommitInterval:  *commitInterval,
 		RollupRes:       rollups,
 		RetainRaw:       *retainRaw,
+		RecoverWorkers:  *recoverWorkers,
 	})
 	if err != nil {
 		log.Fatalf("open store: %v", err)
 	}
 	defer st.Close()
+	if *dir != "" {
+		logRecovery(st.Recovery())
+	}
 
 	var ds *gen.Dataset
 	if st.Stats().Samples == 0 {
@@ -182,6 +187,25 @@ func main() {
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatalf("serve: %v", err)
 	}
+}
+
+// logRecovery prints the startup recovery breakdown — snapshot format,
+// bytes and load time, WAL segments/records replayed, effective worker
+// fan-out, and the resulting samples/s — so a restart-time regression
+// shows up in the log instead of having to be inferred.
+func logRecovery(rec store.RecoveryStats) {
+	if rec.SnapshotFormat == "" && rec.WALRecords == 0 {
+		log.Printf("recovery: empty directory (cold start), %d workers", rec.Workers)
+		return
+	}
+	perSec := float64(0)
+	if rec.TotalMS > 0 {
+		perSec = float64(rec.SnapshotSamples) / (float64(rec.TotalMS) / 1000)
+	}
+	log.Printf("recovery: snapshot %s %d bytes (%d meters, %d samples, %d chunks) in %dms; wal %d segments / %d records in %dms; total %dms, %d workers, %.0f samples/s",
+		rec.SnapshotFormat, rec.SnapshotBytes, rec.SnapshotMeters, rec.SnapshotSamples, rec.SnapshotChunks, rec.SnapshotMS,
+		rec.WALSegments, rec.WALRecords, rec.WALReplayMS,
+		rec.TotalMS, rec.Workers, perSec)
 }
 
 // parseRollupRes maps the -rollup-res flag onto store.Options.RollupRes:

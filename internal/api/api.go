@@ -51,6 +51,7 @@ func (s *Server) Routes() *http.ServeMux {
 	mux.HandleFunc("/api/reduce", s.handleReduce)
 	mux.HandleFunc("/api/patterns", s.handlePatterns)
 	mux.HandleFunc("/api/flow", s.handleFlow)
+	mux.HandleFunc("/api/ingest", s.handleIngest)
 	mux.HandleFunc("/api/stats", s.handleStats)
 	mux.HandleFunc("/api/stats/series", s.handleSeriesStats)
 	mux.HandleFunc("/api/admin/snapshot", s.handleAdminSnapshot)
@@ -195,6 +196,7 @@ func (s *Server) dataVersion() stream.DataVersion {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.an.Store().Stats()
+	rec := s.an.Store().Recovery()
 	first, last, ok := s.an.Store().TimeBounds()
 	var snapAge int64 = -1 // -1: no snapshot has completed in this process
 	if st.LastSnapshotUnix > 0 {
@@ -220,6 +222,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// Rollup tiers: per-resolution bucket counts and byte footprint
 		// (empty when the store was opened with rollups disabled).
 		"rollups": st.Rollups,
+		// Recovery: how long the last Open took and its snapshot/WAL
+		// breakdown, so restart regressions are visible, not inferred.
+		"last_recovery_ms": rec.TotalMS,
+		"recovery":         rec,
 	})
 }
 

@@ -133,6 +133,58 @@ func (s *Series) seal() {
 	s.head = NewEncoder()
 }
 
+// captureChunks snapshots the series for a v3 (chunk-verbatim) snapshot:
+// the sealed chunk list is aliased as-is (chunks are immutable) and the
+// head block is copied, applying the same chunk-granular retention rule as
+// retainedFrom — sealed chunks wholly older than cutoff are left out.
+// Caller holds the owning shard lock.
+func (s *Series) captureChunks(cutoff int64) (chunks []*chunk, headPayload []byte, headCount int) {
+	for _, c := range s.sealed {
+		if c.maxTS < cutoff {
+			continue
+		}
+		chunks = append(chunks, c)
+	}
+	if s.head.Len() > 0 {
+		headPayload, headCount = s.head.Bytes(), s.head.Len()
+	}
+	return chunks, headPayload, headCount
+}
+
+// installChunks bulk-loads a v3 snapshot section into an empty series:
+// sealed chunks are installed wholesale — no decode, no re-encode — and
+// the head samples (the one part a snapshot must materialize, since an
+// Encoder cannot resume from payload bytes) are re-appended through
+// appendRaw. No rollup folding: v3 tiers are persisted and installed
+// separately, like v2. Version accounting matches the sample-at-a-time
+// path exactly (+1 per sample on top of the registration version), so a
+// chunk-installed series fingerprints identically to a replayed one.
+func (s *Series) installChunks(chunks []*chunk, head []Sample) error {
+	if s.total != 0 || len(s.sealed) != 0 {
+		return errors.New("store: installChunks on a non-empty series")
+	}
+	last := int64(minInt64)
+	for _, c := range chunks {
+		if c.count <= 0 || c.minTS > c.maxTS {
+			return ErrCorrupt
+		}
+		if len(s.sealed) > 0 && c.minTS <= last {
+			return ErrCorrupt // chunks must be strictly ascending
+		}
+		s.sealed = append(s.sealed, c)
+		s.total += c.count
+		s.ver += uint64(c.count)
+		last = c.maxTS
+	}
+	for _, smp := range head {
+		// appendRaw validates ordering against the last sealed chunk too.
+		if err := s.appendRaw(smp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // CompressedBytes returns the total compressed payload size in bytes.
 func (s *Series) CompressedBytes() int {
 	n := s.head.SizeBytes()

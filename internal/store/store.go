@@ -1,16 +1,14 @@
 package store
 
 import (
-	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"hash/fnv"
-	"io"
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -63,6 +61,16 @@ type Options struct {
 	// data forever. The cutoff is data time, not wall time: it trails the
 	// newest stored sample.
 	RetainRaw time.Duration
+	// RecoverWorkers is the worker-pool width Open uses for parallel
+	// recovery: v3 snapshot sections are installed and WAL records applied
+	// across this many goroutines. <= 0 selects GOMAXPROCS; 1 forces the
+	// fully serial paths.
+	RecoverWorkers int
+	// SnapshotFormat selects the layout Snapshot writes: 0 or 3 write the
+	// current chunk-verbatim v3 ("VAP3"); 2 pins the legacy materialized
+	// v2 ("VAP2") for downgrade paths and benchmarking. Open always reads
+	// every format regardless of this setting.
+	SnapshotFormat int
 }
 
 const defaultShards = 16
@@ -112,6 +120,9 @@ type Store struct {
 	// appends). It is the coarse invalidation signal; Fingerprint is the
 	// precise, selection-scoped one.
 	version atomic.Uint64
+	// recovery is the breakdown of the work Open did (snapshot load + WAL
+	// replay). Written only during Open, read-only afterwards.
+	recovery RecoveryStats
 }
 
 // ErrClosed is returned by mutations (and a second Close) after the store
@@ -139,14 +150,25 @@ func (s *Store) ShardVersions() []uint64 {
 	return out
 }
 
-// shardFor maps a meter ID onto its shard with a 64-bit finalizer so
-// sequentially assigned IDs spread instead of clustering.
-func (s *Store) shardFor(id int64) *shard {
+// shardIndex maps a meter ID onto its shard index with a 64-bit finalizer
+// so sequentially assigned IDs spread instead of clustering.
+func (s *Store) shardIndex(id int64) int {
 	x := uint64(id)
 	x ^= x >> 33
 	x *= 0xff51afd7ed558ccd
 	x ^= x >> 33
-	return s.shards[x&s.mask]
+	return int(x & s.mask)
+}
+
+// shardFor returns the shard owning a meter ID.
+func (s *Store) shardFor(id int64) *shard { return s.shards[s.shardIndex(id)] }
+
+// recoverWorkers resolves Options.RecoverWorkers (<= 0 means GOMAXPROCS).
+func (s *Store) recoverWorkers() int {
+	if s.opts.RecoverWorkers > 0 {
+		return s.opts.RecoverWorkers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func nextPow2(n int) int {
@@ -158,8 +180,15 @@ func nextPow2(n int) int {
 }
 
 // Open creates a Store. If opts.Dir is non-empty, it loads the latest
-// snapshot (if any) and replays the WAL on top of it.
+// snapshot (if any) and replays the WAL on top of it — both fanned out
+// across Options.RecoverWorkers workers (snapshot meter installs for v3
+// files, per-shard WAL record appliers). Recovery() reports the breakdown.
 func Open(opts Options) (*Store, error) {
+	switch opts.SnapshotFormat {
+	case 0, 2, 3:
+	default:
+		return nil, fmt.Errorf("store: unsupported SnapshotFormat %d (want 0, 2 or 3)", opts.SnapshotFormat)
+	}
 	n := opts.Shards
 	if n <= 0 {
 		n = defaultShards
@@ -178,6 +207,8 @@ func Open(opts Options) (*Store, error) {
 	if opts.Dir == "" {
 		return s, nil
 	}
+	start := time.Now()
+	s.recovery.Workers = s.recoverWorkers()
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -186,9 +217,11 @@ func Open(opts Options) (*Store, error) {
 	os.Remove(filepath.Join(opts.Dir, "snapshot.vap.tmp"))
 	snapPath := filepath.Join(opts.Dir, "snapshot.vap")
 	if _, err := os.Stat(snapPath); err == nil {
+		snapStart := time.Now()
 		if err := s.loadSnapshot(snapPath); err != nil {
 			return nil, fmt.Errorf("store: loading snapshot: %w", err)
 		}
+		s.recovery.SnapshotMS = time.Since(snapStart).Milliseconds()
 	}
 	// OpenWAL truncates the tail segment to its last valid record boundary
 	// before anything is replayed or appended, so recovery can neither stop
@@ -200,21 +233,17 @@ func Open(opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	err = wal.Replay(
-		func(m Meter) error { return s.replayMeter(m) },
-		func(id int64, smp Sample) error {
-			// Replay may overlap the snapshot; skip stale samples.
-			err := s.replaySample(id, smp)
-			if err == ErrOutOfOrder || err == ErrUnknownMeter {
-				return nil
-			}
-			return err
-		})
+	replayStart := time.Now()
+	records, segments, err := s.replayWAL(wal)
+	s.recovery.WALRecords = records
+	s.recovery.WALSegments = segments
+	s.recovery.WALReplayMS = time.Since(replayStart).Milliseconds()
 	if err != nil {
 		wal.Close()
 		return nil, fmt.Errorf("store: replaying WAL: %w", err)
 	}
 	s.wal = wal
+	s.recovery.TotalMS = time.Since(start).Milliseconds()
 	return s, nil
 }
 
@@ -700,550 +729,6 @@ func (s *Store) Within(box geo.BBox) []int64 { return s.catalog.Within(box) }
 
 // Near returns up to k nearest meters to p.
 func (s *Store) Near(p geo.Point, k int) []index.Neighbor { return s.catalog.Near(p, k) }
-
-// --- Snapshots ---------------------------------------------------------
-
-// snapMagic marks the legacy v1 snapshot layout (raw samples only);
-// snapMagicV2 the current one, which appends per-meter rollup tiers after
-// each meter's samples so tiers survive retention aging raw data out.
-// Open reads both: a v1 file simply rebuilds its tiers from the raw
-// samples it still fully contains.
-var (
-	snapMagic   = [4]byte{'V', 'A', 'P', 'S'}
-	snapMagicV2 = [4]byte{'V', 'A', 'P', '2'}
-)
-
-// snapEntry is one meter's captured state: metadata, the sample count at
-// capture time, a point-in-time iterator (immutable sealed chunks plus
-// a private head copy — the same mechanism Store.Iter uses), and the
-// rollup tier capture — so the disk write needs no locks at all. With
-// retention active, count and it cover only the retained raw samples
-// while tiers always cover the full history.
-type snapEntry struct {
-	m     Meter
-	count int
-	it    *SeriesIter
-	tiers []snapTier
-}
-
-// Snapshot atomically writes the full dataset to Dir/snapshot.vap without
-// blocking writers: it cuts a WAL watermark, captures per-shard iterator
-// snapshots under brief read locks, then streams the capture to disk while
-// appends proceed. After the fsync'd temp file is renamed into place the
-// directory itself is fsynced — only then are the WAL segments fully
-// covered by the watermark deleted, so a crash at any point leaves either
-// the old snapshot with the full log or the new snapshot with the suffix.
-// It is a no-op error for in-memory stores. Concurrent Snapshot calls and
-// Close serialize on snapMu.
-func (s *Store) Snapshot() error {
-	s.snapMu.Lock()
-	defer s.snapMu.Unlock()
-	if s.closed.Load() {
-		return ErrClosed
-	}
-	if s.opts.Dir == "" {
-		return ErrNoDurability
-	}
-	// Watermark first: every record enqueued before the cut lives in a
-	// segment below it, and each such record's in-memory apply happened in
-	// the same shard-lock critical section as its enqueue — so the capture
-	// below (which takes each shard lock) observes all of them.
-	var watermark uint64
-	if s.wal != nil {
-		var err error
-		if watermark, err = s.wal.CutSegment(); err != nil {
-			return err
-		}
-	}
-	// Retention cutoff in data time: sealed chunks wholly older than this
-	// are left out of the snapshot and pruned from memory once it is
-	// durable. minInt64 (no retention, or no data yet) retains everything.
-	cutoff := int64(minInt64)
-	if s.opts.RetainRaw > 0 {
-		if _, last, ok := s.TimeBounds(); ok {
-			cutoff = last + 1 - int64(s.opts.RetainRaw/time.Second)
-		}
-	}
-	var entries []snapEntry
-	for _, sh := range s.shards {
-		sh.mu.RLock()
-		for id, ser := range sh.series {
-			m, ok := s.catalog.Get(id)
-			if !ok {
-				continue
-			}
-			e := snapEntry{m: m, tiers: ser.captureTiers()}
-			if cutoff == minInt64 {
-				e.count, e.it = ser.Len(), ser.Iter(minInt64, maxInt64)
-			} else if retainFrom, cnt := ser.retainedFrom(cutoff); cnt > 0 {
-				e.count, e.it = cnt, ser.Iter(retainFrom, maxInt64)
-			} else {
-				e.it = ser.Iter(0, 0) // every raw sample aged out
-			}
-			entries = append(entries, e)
-		}
-		sh.mu.RUnlock()
-	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].m.ID < entries[j].m.ID })
-
-	tmp := filepath.Join(s.opts.Dir, "snapshot.vap.tmp")
-	final := filepath.Join(s.opts.Dir, "snapshot.vap")
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	w := bufio.NewWriterSize(f, 1<<16)
-	if err := writeSnapshot(w, s.rollupRes, entries); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, final); err != nil {
-		return err
-	}
-	// The rename is only durable once the directory entry is; fsync it
-	// before touching the WAL, or a crash here could leave neither a
-	// reachable snapshot nor the log records it replaced.
-	if err := syncDir(s.opts.Dir); err != nil {
-		return err
-	}
-	// The snapshot is durable from here on: record it before retiring the
-	// covered segments, so a cleanup failure does not masquerade as a
-	// failed (and stats-wise stale) snapshot. The next snapshot retries
-	// any segment that could not be removed.
-	s.lastSnapUnix.Store(time.Now().Unix())
-	// Raw data below the cutoff is durably out of the snapshot now; drop
-	// the same chunks from memory (chunk-granular, the identical rule the
-	// capture applied, so disk and memory agree on what survived). New
-	// chunks sealed since the capture are strictly newer and unaffected.
-	if cutoff != minInt64 {
-		for _, sh := range s.shards {
-			sh.mu.Lock()
-			pruned := 0
-			for _, ser := range sh.series {
-				pruned += ser.pruneRawBefore(cutoff)
-			}
-			if pruned > 0 {
-				sh.version.Add(1)
-				s.version.Add(1)
-			}
-			sh.mu.Unlock()
-		}
-	}
-	if s.wal != nil {
-		if err := s.wal.DeleteSegmentsBelow(watermark); err != nil {
-			return fmt.Errorf("store: snapshot is durable, but retiring covered WAL segments failed: %w", err)
-		}
-	}
-	return nil
-}
-
-// writeSnapshot serializes the v2 layout: magic, the store's tier
-// resolution list, meter count, then per meter its metadata, retained raw
-// sample run (count + samples), and one bucket array per tier in header
-// order — with a trailing CRC of everything. It reads only the captured
-// entries — no store locks are held.
-func writeSnapshot(w io.Writer, res []int64, entries []snapEntry) error {
-	crc := crc32.NewIEEE()
-	mw := io.MultiWriter(w, crc)
-	if _, err := mw.Write(snapMagicV2[:]); err != nil {
-		return err
-	}
-	if err := binary.Write(mw, binary.LittleEndian, uint32(len(res))); err != nil {
-		return err
-	}
-	for _, r := range res {
-		if err := binary.Write(mw, binary.LittleEndian, r); err != nil {
-			return err
-		}
-	}
-	if err := binary.Write(mw, binary.LittleEndian, uint32(len(entries))); err != nil {
-		return err
-	}
-	for _, e := range entries {
-		if err := writeSnapMeter(mw, e); err != nil {
-			return err
-		}
-		// Tiers in header order; captureTiers preserves the store's tier
-		// order, so a mismatch here is a programming error worth failing on.
-		if len(e.tiers) != len(res) {
-			return fmt.Errorf("store: snapshot of meter %d captured %d tiers, store maintains %d", e.m.ID, len(e.tiers), len(res))
-		}
-		for ti, t := range e.tiers {
-			if t.res != res[ti] {
-				return fmt.Errorf("store: snapshot tier order mismatch for meter %d", e.m.ID)
-			}
-			if err := binary.Write(mw, binary.LittleEndian, uint32(t.len())); err != nil {
-				return err
-			}
-			for i := range t.interior {
-				if err := writeRollupBucket(mw, &t.interior[i]); err != nil {
-					return err
-				}
-			}
-			if t.hasTail {
-				if err := writeRollupBucket(mw, &t.tail); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	var tail [4]byte
-	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
-	_, err := w.Write(tail[:])
-	return err
-}
-
-// writeSnapMeter writes one meter's metadata and retained raw samples —
-// the per-meter layout shared by both snapshot versions.
-func writeSnapMeter(mw io.Writer, e snapEntry) error {
-	zone := []byte(e.m.Zone)
-	if err := binary.Write(mw, binary.LittleEndian, e.m.ID); err != nil {
-		return err
-	}
-	if err := binary.Write(mw, binary.LittleEndian, e.m.Location.Lon); err != nil {
-		return err
-	}
-	if err := binary.Write(mw, binary.LittleEndian, e.m.Location.Lat); err != nil {
-		return err
-	}
-	if err := binary.Write(mw, binary.LittleEndian, uint16(len(zone))); err != nil {
-		return err
-	}
-	if _, err := mw.Write(zone); err != nil {
-		return err
-	}
-	if err := binary.Write(mw, binary.LittleEndian, uint32(e.count)); err != nil {
-		return err
-	}
-	written := 0
-	for e.it.Next() {
-		smp := e.it.Sample()
-		if err := binary.Write(mw, binary.LittleEndian, smp.TS); err != nil {
-			return err
-		}
-		if err := binary.Write(mw, binary.LittleEndian, smp.Value); err != nil {
-			return err
-		}
-		written++
-	}
-	if err := e.it.Err(); err != nil {
-		return err
-	}
-	if written != e.count {
-		return fmt.Errorf("store: snapshot of meter %d yielded %d samples, expected %d", e.m.ID, written, e.count)
-	}
-	return nil
-}
-
-func writeRollupBucket(mw io.Writer, b *RollupBucket) error {
-	var buf [rollupBucketBytes]byte
-	binary.LittleEndian.PutUint64(buf[0:], uint64(b.Start))
-	binary.LittleEndian.PutUint64(buf[8:], uint64(b.Count))
-	binary.LittleEndian.PutUint64(buf[16:], uint64(b.NaN))
-	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(b.Sum))
-	binary.LittleEndian.PutUint64(buf[32:], math.Float64bits(b.Min))
-	binary.LittleEndian.PutUint64(buf[40:], math.Float64bits(b.Max))
-	binary.LittleEndian.PutUint64(buf[48:], math.Float64bits(b.First))
-	binary.LittleEndian.PutUint64(buf[56:], math.Float64bits(b.Last))
-	_, err := mw.Write(buf[:])
-	return err
-}
-
-// writeSnapshotV1 serializes the legacy layout (no tiers). Retained only
-// so the migration path — loading a pre-rollup snapshot — stays testable.
-func writeSnapshotV1(w io.Writer, entries []snapEntry) error {
-	crc := crc32.NewIEEE()
-	mw := io.MultiWriter(w, crc)
-	if _, err := mw.Write(snapMagic[:]); err != nil {
-		return err
-	}
-	if err := binary.Write(mw, binary.LittleEndian, uint32(len(entries))); err != nil {
-		return err
-	}
-	for _, e := range entries {
-		if err := writeSnapMeter(mw, e); err != nil {
-			return err
-		}
-	}
-	var tail [4]byte
-	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
-	_, err := w.Write(tail[:])
-	return err
-}
-
-func (s *Store) loadSnapshot(path string) error {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	if len(raw) < 12 {
-		return ErrCorrupt
-	}
-	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
-	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
-		return fmt.Errorf("store: snapshot checksum mismatch")
-	}
-	r := &sliceReader{data: body}
-	var magic [4]byte
-	if err := r.read(magic[:]); err != nil {
-		return ErrCorrupt
-	}
-	switch magic {
-	case snapMagic:
-		return s.loadSnapshotV1(r)
-	case snapMagicV2:
-		return s.loadSnapshotV2(r)
-	default:
-		return ErrCorrupt
-	}
-}
-
-// loadSnapshotV1 loads a legacy (pre-rollup) snapshot. It routes samples
-// through the normal append path, which folds them into the configured
-// rollup tiers — a v1 file still contains its full raw history, so the
-// rebuilt tiers are exact. This is the migration path for old snapshots.
-func (s *Store) loadSnapshotV1(r *sliceReader) error {
-	nMeters, err := r.uint32()
-	if err != nil {
-		return ErrCorrupt
-	}
-	for i := uint32(0); i < nMeters; i++ {
-		id, err := r.int64()
-		if err != nil {
-			return ErrCorrupt
-		}
-		lon, err := r.float64()
-		if err != nil {
-			return ErrCorrupt
-		}
-		lat, err := r.float64()
-		if err != nil {
-			return ErrCorrupt
-		}
-		zlen, err := r.uint16()
-		if err != nil {
-			return ErrCorrupt
-		}
-		zone := make([]byte, zlen)
-		if err := r.read(zone); err != nil {
-			return ErrCorrupt
-		}
-		m := Meter{ID: id, Location: geo.Point{Lon: lon, Lat: lat}, Zone: ZoneType(zone)}
-		if err := s.replayMeter(m); err != nil {
-			return err
-		}
-		nSamples, err := r.uint32()
-		if err != nil {
-			return ErrCorrupt
-		}
-		sh := s.shardFor(id)
-		sh.mu.Lock()
-		var loadErr error
-		for j := uint32(0); j < nSamples; j++ {
-			ts, err := r.int64()
-			if err != nil {
-				loadErr = ErrCorrupt
-				break
-			}
-			v, err := r.float64()
-			if err != nil {
-				loadErr = ErrCorrupt
-				break
-			}
-			if err := s.appendShardLocked(sh, id, Sample{TS: ts, Value: v}); err != nil {
-				loadErr = err
-				break
-			}
-		}
-		sh.mu.Unlock()
-		if loadErr != nil {
-			return loadErr
-		}
-	}
-	return nil
-}
-
-// loadSnapshotV2 loads the current layout: header tier resolutions, then
-// per meter its retained raw samples followed by the persisted tier bucket
-// arrays. Samples load through appendRaw — no rollup folding — because the
-// tiers come from the file; folding too would double-count. Persisted
-// tiers whose resolution the store still maintains install verbatim; any
-// newly configured resolution is derived from the retained raw samples
-// (exact until retention has aged data out, best-effort after).
-func (s *Store) loadSnapshotV2(r *sliceReader) error {
-	nRes, err := r.uint32()
-	if err != nil {
-		return ErrCorrupt
-	}
-	fileRes := make([]int64, nRes)
-	for i := range fileRes {
-		if fileRes[i], err = r.int64(); err != nil {
-			return ErrCorrupt
-		}
-	}
-	nMeters, err := r.uint32()
-	if err != nil {
-		return ErrCorrupt
-	}
-	for i := uint32(0); i < nMeters; i++ {
-		id, err := r.int64()
-		if err != nil {
-			return ErrCorrupt
-		}
-		lon, err := r.float64()
-		if err != nil {
-			return ErrCorrupt
-		}
-		lat, err := r.float64()
-		if err != nil {
-			return ErrCorrupt
-		}
-		zlen, err := r.uint16()
-		if err != nil {
-			return ErrCorrupt
-		}
-		zone := make([]byte, zlen)
-		if err := r.read(zone); err != nil {
-			return ErrCorrupt
-		}
-		m := Meter{ID: id, Location: geo.Point{Lon: lon, Lat: lat}, Zone: ZoneType(zone)}
-		if err := s.replayMeter(m); err != nil {
-			return err
-		}
-		nSamples, err := r.uint32()
-		if err != nil {
-			return ErrCorrupt
-		}
-		sh := s.shardFor(id)
-		sh.mu.Lock()
-		ser := sh.series[id]
-		var loadErr error
-		for j := uint32(0); j < nSamples; j++ {
-			ts, err := r.int64()
-			if err != nil {
-				loadErr = ErrCorrupt
-				break
-			}
-			v, err := r.float64()
-			if err != nil {
-				loadErr = ErrCorrupt
-				break
-			}
-			if err := ser.appendRaw(Sample{TS: ts, Value: v}); err != nil {
-				loadErr = err
-				break
-			}
-		}
-		if loadErr == nil && nSamples > 0 {
-			sh.version.Add(uint64(nSamples))
-			s.version.Add(uint64(nSamples))
-		}
-		if loadErr == nil {
-			file := make([]rollupTier, len(fileRes))
-			for ti := range fileRes {
-				nb, err := r.uint32()
-				if err != nil {
-					loadErr = ErrCorrupt
-					break
-				}
-				buckets := make([]RollupBucket, nb)
-				for bi := range buckets {
-					if err := readRollupBucket(r, &buckets[bi]); err != nil {
-						loadErr = ErrCorrupt
-						break
-					}
-				}
-				if loadErr != nil {
-					break
-				}
-				file[ti] = rollupTier{res: fileRes[ti], buckets: buckets}
-			}
-			if loadErr == nil {
-				loadErr = ser.installRollups(s.rollupRes, file)
-			}
-		}
-		sh.mu.Unlock()
-		if loadErr != nil {
-			return loadErr
-		}
-	}
-	return nil
-}
-
-func readRollupBucket(r *sliceReader, b *RollupBucket) error {
-	var buf [rollupBucketBytes]byte
-	if err := r.read(buf[:]); err != nil {
-		return err
-	}
-	b.Start = int64(binary.LittleEndian.Uint64(buf[0:]))
-	b.Count = int64(binary.LittleEndian.Uint64(buf[8:]))
-	b.NaN = int64(binary.LittleEndian.Uint64(buf[16:]))
-	b.Sum = math.Float64frombits(binary.LittleEndian.Uint64(buf[24:]))
-	b.Min = math.Float64frombits(binary.LittleEndian.Uint64(buf[32:]))
-	b.Max = math.Float64frombits(binary.LittleEndian.Uint64(buf[40:]))
-	b.First = math.Float64frombits(binary.LittleEndian.Uint64(buf[48:]))
-	b.Last = math.Float64frombits(binary.LittleEndian.Uint64(buf[56:]))
-	return nil
-}
-
-// sliceReader reads little-endian primitives from a byte slice.
-type sliceReader struct {
-	data []byte
-	off  int
-}
-
-func (r *sliceReader) read(p []byte) error {
-	if r.off+len(p) > len(r.data) {
-		return io.ErrUnexpectedEOF
-	}
-	copy(p, r.data[r.off:])
-	r.off += len(p)
-	return nil
-}
-
-func (r *sliceReader) uint32() (uint32, error) {
-	var b [4]byte
-	if err := r.read(b[:]); err != nil {
-		return 0, err
-	}
-	return binary.LittleEndian.Uint32(b[:]), nil
-}
-
-func (r *sliceReader) uint16() (uint16, error) {
-	var b [2]byte
-	if err := r.read(b[:]); err != nil {
-		return 0, err
-	}
-	return binary.LittleEndian.Uint16(b[:]), nil
-}
-
-func (r *sliceReader) int64() (int64, error) {
-	var b [8]byte
-	if err := r.read(b[:]); err != nil {
-		return 0, err
-	}
-	return int64(binary.LittleEndian.Uint64(b[:])), nil
-}
-
-func (r *sliceReader) float64() (float64, error) {
-	v, err := r.int64()
-	return math.Float64frombits(uint64(v)), err
-}
 
 // MeterIDsSorted returns all meter IDs ascending; convenience for callers
 // iterating deterministically.

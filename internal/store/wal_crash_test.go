@@ -847,25 +847,31 @@ func TestWALKillRecovery(t *testing.T) {
 				t.Skip("child made no progress before the kill; nothing to verify")
 			}
 
-			// Recover under a different shard count for good measure.
-			st, err := Open(Options{Dir: dir, Shards: 2})
-			if err != nil {
-				t.Fatalf("recovery after kill (lastAck=%d): %v", lastAck, err)
-			}
-			defer st.Close()
-			recovered := make(map[int64]map[int64]bool, 4)
-			for m := int64(1); m <= 4; m++ {
-				recovered[m] = sampleTSSet(t, st, m)
-			}
-			for i := int64(1); i <= lastAck; i++ {
-				if m := i%4 + 1; !recovered[m][i] {
-					t.Fatalf("acked sample %d (meter %d) lost after kill; lastAck=%d", i, m, lastAck)
+			// Recover the same crashed state serially and with the worker
+			// pool (the child's periodic snapshots are v3, so the parallel
+			// leg drives the sectioned loader and sharded WAL replay over
+			// real crash debris), each under a different shard count for
+			// good measure.
+			for _, workers := range []int{1, 8} {
+				st, err := Open(Options{Dir: cloneDir(t, dir), Shards: 2, RecoverWorkers: workers})
+				if err != nil {
+					t.Fatalf("recovery after kill (workers=%d, lastAck=%d): %v", workers, lastAck, err)
 				}
-			}
-			checkRollupsRebuilt(t, st)
-			// And the store must still accept + recover new writes.
-			if err := st.Append(lastAck%4+1, Sample{TS: lastAck + 1_000_000, Value: 1}); err != nil {
-				t.Errorf("post-kill append: %v", err)
+				defer st.Close()
+				recovered := make(map[int64]map[int64]bool, 4)
+				for m := int64(1); m <= 4; m++ {
+					recovered[m] = sampleTSSet(t, st, m)
+				}
+				for i := int64(1); i <= lastAck; i++ {
+					if m := i%4 + 1; !recovered[m][i] {
+						t.Fatalf("acked sample %d (meter %d) lost after kill; workers=%d lastAck=%d", i, m, workers, lastAck)
+					}
+				}
+				checkRollupsRebuilt(t, st)
+				// And the store must still accept + recover new writes.
+				if err := st.Append(lastAck%4+1, Sample{TS: lastAck + 1_000_000, Value: 1}); err != nil {
+					t.Errorf("post-kill append (workers=%d): %v", workers, err)
+				}
 			}
 		})
 	}

@@ -11,7 +11,9 @@
 // of their ns/op means is recorded as derived.vql_exec_speedup — the
 // within-run, same-binary number the ≥5× vectorization floor is judged
 // on. The paired VQLRollup/Raw and VQLRollup/Tier benchmarks likewise
-// record derived.rollup_speedup, the ≥10× tier-serving floor.
+// record derived.rollup_speedup, the ≥10× tier-serving floor, and the
+// paired Recover/V2Serial and Recover/V3Parallel benchmarks record
+// derived.recover_speedup, the ≥4× cold-start recovery floor.
 //
 // A trajectory file carries a series name (-series, default "vql") so
 // different artifact files (BENCH_vql.json, BENCH_rollup.json) stay
@@ -23,6 +25,8 @@
 //	    go run ./tools/benchjson -out BENCH_vql.json -label "my change"
 //	go test -run XXX -bench VQLRollup -benchmem -count=3 . |
 //	    go run ./tools/benchjson -series rollup -out BENCH_rollup.json -label "my change"
+//	VAP_RECOVER_FIXTURE=1000x100000 go test -run XXX -bench BenchmarkRecover -benchtime 1x . |
+//	    go run ./tools/benchjson -series recover -out BENCH_recover.json -label "my change"
 package main
 
 import (
@@ -129,6 +133,14 @@ func parse(r *bufio.Scanner) (run, error) {
 		}
 		out.Derived["rollup_speedup"] = round2(raw["ns_per_op"] / tier["ns_per_op"])
 	}
+	v2s, ok2 := out.Benchmarks["Recover/V2Serial"]
+	v3p, ok3 := out.Benchmarks["Recover/V3Parallel"]
+	if ok2 && ok3 && v3p["ns_per_op"] > 0 {
+		if out.Derived == nil {
+			out.Derived = map[string]float64{}
+		}
+		out.Derived["recover_speedup"] = round2(v2s["ns_per_op"] / v3p["ns_per_op"])
+	}
 	return out, nil
 }
 
@@ -187,6 +199,9 @@ func main() {
 	}
 	if d := entry.Derived["rollup_speedup"]; d != 0 {
 		note += fmt.Sprintf(" (rollup_speedup %.2fx)", d)
+	}
+	if d := entry.Derived["recover_speedup"]; d != 0 {
+		note += fmt.Sprintf(" (recover_speedup %.2fx)", d)
 	}
 	fmt.Printf("recorded %d benchmarks to %s%s\n", len(entry.Benchmarks), *outPath, note)
 }
