@@ -10,20 +10,24 @@ package vap_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http/httptest"
 	"os"
 	"reflect"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"vap"
 	"vap/internal/cluster"
 	"vap/internal/core"
 	"vap/internal/gen"
+	"vap/internal/govern"
 	"vap/internal/kde"
 	"vap/internal/query"
 	"vap/internal/reduce"
@@ -802,4 +806,91 @@ func BenchmarkRecover(b *testing.B) {
 			b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
 		})
 	}
+}
+
+// BenchmarkGovernMixed is the ISSUE 9 acceptance benchmark: cheap
+// interactive-query latency measured alone (Unloaded) and with two
+// monster analytics scans continuously hammering the same governed engine
+// (Loaded). Admission priority plus the analytics batch-loop pacing must
+// keep the loaded cheap-query p99 within 5x its unloaded value — without
+// governance the cheap reads queue behind the monsters' full-store scans
+// and the tail is unbounded. Each sub-benchmark reports its latency
+// distribution (p50-ms / p99-ms via ReportMetric); tools/benchjson
+// derives govern_tail_ratio = Loaded p99 / Unloaded p99 for the
+// BENCH_govern.json trajectory.
+func BenchmarkGovernMixed(b *testing.B) {
+	setupBench(b)
+	gov := govern.New(govern.Config{
+		MaxConcurrent:     8,
+		InteractiveCutoff: 100_000, // one-meter/one-day reads stay interactive
+		MaxQueueWait:      30 * time.Second,
+	})
+	an := core.NewAnalyzerOpts(benchData.st, core.Options{Gov: gov})
+	ctx := context.Background()
+	day0 := benchData.ds.Start.Unix()
+	cheap := fmt.Sprintf("SELECT sum(value), count(*) FROM meters WHERE meter IN (1) AND time >= %d AND time < %d",
+		day0, day0+86400)
+	// Bucketless GROUP BYs never ride a rollup tier, so the monsters
+	// always scan raw samples across every meter; distinct shapes defeat
+	// singleflight coalescing, so two scans genuinely run concurrently.
+	monsters := []string{
+		"SELECT zone, sum(value), min(value), max(value) FROM meters GROUP BY zone",
+		"SELECT meter, sum(value) FROM meters GROUP BY meter",
+	}
+
+	measure := func(b *testing.B) {
+		lat := make([]time.Duration, 0, b.N)
+		for i := 0; i < b.N; i++ {
+			an.Exec().Invalidate() // measure a real scan, not the memo hit
+			t0 := time.Now()
+			if _, err := an.VQL(ctx, cheap); err != nil {
+				b.Fatal(err)
+			}
+			lat = append(lat, time.Since(t0))
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		q := func(p float64) float64 {
+			return float64(lat[int(p*float64(len(lat)-1))].Microseconds()) / 1000
+		}
+		b.ReportMetric(q(0.50), "p50-ms")
+		b.ReportMetric(q(0.99), "p99-ms")
+	}
+
+	b.Run("Unloaded", measure)
+	b.Run("Loaded", func(b *testing.B) {
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for _, q := range monsters {
+			wg.Add(1)
+			go func(q string) {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					// an.VQL admits internally (classified analytics from
+					// the planner estimate); the cheap loop's per-iteration
+					// Invalidate keeps these recomputing, not memo-hitting.
+					if _, err := an.VQL(ctx, q); err != nil {
+						var se *govern.ShedError
+						if errors.As(err, &se) {
+							time.Sleep(time.Millisecond)
+							continue
+						}
+						b.Error(err)
+						return
+					}
+				}
+			}(q)
+		}
+		// Let the monsters reach their scan loops before timing.
+		time.Sleep(10 * time.Millisecond)
+		b.ResetTimer()
+		measure(b)
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+	})
 }

@@ -7,6 +7,10 @@
 //	vapd [-addr :8080] [-dir data/] [-seed 42] [-days 365] [-stream] [-interval 10s] [-shards 16]
 //	     [-sync] [-segment-bytes N] [-commit-interval 2ms] [-snapshot-interval 5m]
 //	     [-retain-raw 2160h] [-rollup-res 3600,86400] [-recover-workers N]
+//	     [-max-concurrent N] [-mem-budget 512MiB] [-tenant-quotas 'dash=16,64MiB,2e6']
+//	     [-query-deadline 30s] [-max-queue 256] [-max-queue-wait 5s] [-interactive-cutoff 2000000]
+//	     [-handler-timeout 120s] [-max-ingest-bytes 1GiB]
+//	     [-read-header-timeout 10s] [-read-timeout 15m] [-write-timeout 0] [-idle-timeout 2m]
 //
 // With -dir, the store is durable (segmented WAL + snapshots); if the
 // directory is empty a synthetic dataset is generated and snapshotted into
@@ -36,6 +40,7 @@ import (
 	"vap/internal/api"
 	"vap/internal/core"
 	"vap/internal/gen"
+	"vap/internal/govern"
 	"vap/internal/store"
 	"vap/internal/stream"
 )
@@ -57,6 +62,21 @@ func main() {
 	retainRaw := flag.Duration("retain-raw", 0, "raw-sample retention horizon behind the newest sample; snapshots age older sealed chunks out of disk and memory while rollup tiers keep serving coarse aggregates (0 = keep raw data forever)")
 	rollupRes := flag.String("rollup-res", "", "comma-separated rollup tier resolutions in seconds (empty = default 3600,86400; 'off' disables rollups)")
 	recoverWorkers := flag.Int("recover-workers", 0, "recovery fan-out: workers installing snapshot sections and applying WAL records on open (0 = GOMAXPROCS, 1 = serial)")
+	// Resource governance (admission control, budgets, shedding).
+	maxConcurrent := flag.Int("max-concurrent", 0, "global concurrently-admitted request bound (0 = 4 x NumCPU)")
+	memBudget := flag.String("mem-budget", "", "global in-flight memory budget, e.g. 512MiB (empty = default 512MiB)")
+	tenantQuotas := flag.String("tenant-quotas", "", "per-tenant quotas: name=maxConcurrent,memBudget,maxCostSamples[;...] — 0 fields inherit the global bound; e.g. 'dash=16,64MiB,2e6;batch=2,256MiB,0'")
+	queryDeadline := flag.Duration("query-deadline", 0, "per-query execution deadline enforced in the executor's batch loops (0 = only the handler timeout)")
+	maxQueue := flag.Int("max-queue", 0, "admission queue depth before lowest-priority work sheds with 429 (0 = default 256)")
+	maxQueueWait := flag.Duration("max-queue-wait", 0, "longest a request may queue before shedding with 429 (0 = default 5s)")
+	interactiveCutoff := flag.Int64("interactive-cutoff", 0, "estimated-sample threshold separating interactive from analytics queries (0 = default 2000000)")
+	// HTTP front-door hardening.
+	handlerTimeout := flag.Duration("handler-timeout", 0, "per-request handler timeout; governance query deadlines supersede it per request (0 = default 120s)")
+	maxIngestBytes := flag.String("max-ingest-bytes", "", "largest /api/ingest request body, e.g. 1GiB (empty = default 1GiB)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 0, "http.Server.ReadHeaderTimeout, the slowloris bound (0 = default 10s, negative disables)")
+	readTimeout := flag.Duration("read-timeout", 0, "http.Server.ReadTimeout over the whole request incl. body (0 = default 15m, negative disables)")
+	writeTimeout := flag.Duration("write-timeout", 0, "http.Server.WriteTimeout (0 = default disabled: /api/stream is long-lived SSE)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "http.Server.IdleTimeout for keep-alive connections (0 = default 2m, negative disables)")
 	flag.Parse()
 
 	rollups, err := parseRollupRes(*rollupRes)
@@ -114,9 +134,29 @@ func main() {
 		log.Printf("loaded existing dataset: %+v", st.Stats())
 	}
 
-	an := core.NewAnalyzerOpts(st, core.Options{Workers: *workers, CacheEntries: *cacheEntries})
+	govCfg := govern.Config{
+		MaxConcurrent:     *maxConcurrent,
+		MaxQueue:          *maxQueue,
+		MaxQueueWait:      *maxQueueWait,
+		InteractiveCutoff: *interactiveCutoff,
+		QueryDeadline:     *queryDeadline,
+	}
+	if *memBudget != "" {
+		if govCfg.MemBudget, err = govern.ParseBytes(*memBudget); err != nil {
+			log.Fatalf("parse -mem-budget: %v", err)
+		}
+	}
+	if govCfg.Tenants, err = govern.ParseTenantQuotas(*tenantQuotas); err != nil {
+		log.Fatalf("parse -tenant-quotas: %v", err)
+	}
+	gov := govern.New(govCfg)
+
+	an := core.NewAnalyzerOpts(st, core.Options{Workers: *workers, CacheEntries: *cacheEntries, Gov: gov})
 	log.Printf("exec engine: %d workers over %d store shards, result cache at /api/exec",
 		an.Exec().Workers(), st.NumShards())
+	eff := gov.Config()
+	log.Printf("governance: %d concurrent / %d MiB in flight, queue %d (wait <= %v), interactive cutoff %d est samples, %d tenant quotas",
+		eff.MaxConcurrent, eff.MemBudget>>20, eff.MaxQueue, eff.MaxQueueWait, eff.InteractiveCutoff, len(eff.Tenants))
 	var hub *stream.Hub
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
@@ -176,7 +216,18 @@ func main() {
 		log.Printf("background snapshots every %v (writers are not blocked)", *snapInterval)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: api.NewServer(an, hub).Routes()}
+	apiCfg := api.Config{HandlerTimeout: *handlerTimeout}
+	if *maxIngestBytes != "" {
+		if apiCfg.MaxIngestBytes, err = govern.ParseBytes(*maxIngestBytes); err != nil {
+			log.Fatalf("parse -max-ingest-bytes: %v", err)
+		}
+	}
+	srv := api.NewHTTPServer(*addr, api.NewServerWith(an, hub, apiCfg).Routes(), api.ServerTimeouts{
+		ReadHeader: *readHeaderTimeout,
+		Read:       *readTimeout,
+		Write:      *writeTimeout,
+		Idle:       *idleTimeout,
+	})
 	go func() {
 		<-ctx.Done()
 		shutCtx, c2 := context.WithTimeout(context.Background(), 3*time.Second)

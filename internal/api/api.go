@@ -17,6 +17,7 @@ import (
 
 	"vap/internal/core"
 	"vap/internal/geo"
+	"vap/internal/govern"
 	"vap/internal/kde"
 	"vap/internal/query"
 	"vap/internal/reduce"
@@ -34,12 +35,87 @@ import (
 type Server struct {
 	an  *core.Analyzer
 	hub *stream.Hub
+	cfg Config
 }
 
-// NewServer returns a server over the analyzer. hub may be nil if the
-// streaming endpoint is unused.
+// Config tunes the HTTP front door. The zero value selects the defaults.
+type Config struct {
+	// HandlerTimeout bounds one request's handler work — the single
+	// configurable default that used to be hardcoded (twice) as 120s.
+	// Governance query deadlines, when configured, supersede it
+	// per-request with a tighter bound. <= 0 selects 120s.
+	HandlerTimeout time.Duration
+	// MaxIngestBytes caps one /api/ingest request body; beyond it the
+	// request fails with 413 and the skip counts of the work already
+	// applied. <= 0 selects 1 GiB.
+	MaxIngestBytes int64
+}
+
+func (c *Config) defaults() {
+	if c.HandlerTimeout <= 0 {
+		c.HandlerTimeout = 120 * time.Second
+	}
+	if c.MaxIngestBytes <= 0 {
+		c.MaxIngestBytes = 1 << 30
+	}
+}
+
+// TenantHeader names the request's tenant for admission control;
+// absent means govern.DefaultTenant.
+const TenantHeader = "X-VAP-Tenant"
+
+// NewServer returns a server over the analyzer with default Config. hub
+// may be nil if the streaming endpoint is unused.
 func NewServer(an *core.Analyzer, hub *stream.Hub) *Server {
-	return &Server{an: an, hub: hub}
+	return NewServerWith(an, hub, Config{})
+}
+
+// NewServerWith returns a server with explicit front-door configuration.
+func NewServerWith(an *core.Analyzer, hub *stream.Hub, cfg Config) *Server {
+	cfg.defaults()
+	return &Server{an: an, hub: hub, cfg: cfg}
+}
+
+// handlerCtx derives one request's working context: the tenant header
+// stamped for admission control, bounded by the configured handler
+// timeout.
+func (s *Server) handlerCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx := govern.WithTenant(r.Context(), r.Header.Get(TenantHeader))
+	return context.WithTimeout(ctx, s.cfg.HandlerTimeout)
+}
+
+// writeGovErr maps the admission controller's typed rejections onto the
+// HTTP taxonomy — *CostError to 422 (the query can never run unchanged),
+// *ShedError to 429 with Retry-After — and reports whether it handled err.
+func writeGovErr(w http.ResponseWriter, err error) bool {
+	var ce *govern.CostError
+	var se *govern.ShedError
+	switch {
+	case errors.As(err, &ce):
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+			"error":            ce.Error(),
+			"tenant":           ce.Tenant,
+			"est_samples":      ce.Est,
+			"cost_ceiling":     ce.Ceiling,
+			"est_mem_bytes":    ce.EstMem,
+			"mem_budget_bytes": ce.MemBudget,
+		})
+		return true
+	case errors.As(err, &se):
+		sec := int(se.RetryAfter.Round(time.Second) / time.Second)
+		if sec < 1 {
+			sec = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(sec))
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error":           se.Error(),
+			"tenant":          se.Tenant,
+			"class":           string(se.Class),
+			"retry_after_sec": sec,
+		})
+		return true
+	}
+	return false
 }
 
 // Routes registers all endpoints on a new mux.
@@ -226,6 +302,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// breakdown, so restart regressions are visible, not inferred.
 		"last_recovery_ms": rec.TotalMS,
 		"recovery":         rec,
+		// Governance: per-tenant admission counters, live gauges, and the
+		// queue-wait histograms.
+		"governance": s.an.Gov().Snapshot(),
 	})
 }
 
@@ -379,7 +458,7 @@ func (s *Server) reduceView(r *http.Request) (*core.TypicalView, error) {
 		Seed:            qInt64(r, "seed", 42),
 		UseDailyProfile: qStr(r, "profile", "") == "daily",
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), 120*time.Second)
+	ctx, cancel := s.handlerCtx(r)
 	defer cancel()
 	return s.an.TypicalPatterns(ctx, cfg)
 }

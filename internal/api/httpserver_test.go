@@ -1,0 +1,96 @@
+package api
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPickTimeout(t *testing.T) {
+	cases := []struct {
+		v, def, want time.Duration
+	}{
+		{0, 10 * time.Second, 10 * time.Second}, // zero selects the default
+		{5 * time.Second, 10 * time.Second, 5 * time.Second},
+		{-1, 10 * time.Second, 0}, // negative disables
+		{0, 0, 0},
+	}
+	for _, tc := range cases {
+		if got := pickTimeout(tc.v, tc.def); got != tc.want {
+			t.Errorf("pickTimeout(%v, %v) = %v, want %v", tc.v, tc.def, got, tc.want)
+		}
+	}
+}
+
+func TestNewHTTPServerDefaults(t *testing.T) {
+	srv := NewHTTPServer(":0", http.NewServeMux(), ServerTimeouts{})
+	if srv.ReadHeaderTimeout != 10*time.Second {
+		t.Errorf("ReadHeaderTimeout = %v, want 10s", srv.ReadHeaderTimeout)
+	}
+	if srv.ReadTimeout != 15*time.Minute {
+		t.Errorf("ReadTimeout = %v, want 15m", srv.ReadTimeout)
+	}
+	if srv.WriteTimeout != 0 {
+		t.Errorf("WriteTimeout = %v, want 0 (SSE must stay open)", srv.WriteTimeout)
+	}
+	if srv.IdleTimeout != 2*time.Minute {
+		t.Errorf("IdleTimeout = %v, want 2m", srv.IdleTimeout)
+	}
+}
+
+// TestSlowlorisConnectionClosed is the regression test for the seed's
+// unbounded http.Server: a client that opens a connection and trickles an
+// incomplete request header must be disconnected once ReadHeaderTimeout
+// fires, instead of pinning a goroutine and a socket forever.
+func TestSlowlorisConnectionClosed(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	srv := NewHTTPServer("", mux, ServerTimeouts{ReadHeader: 150 * time.Millisecond})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { srv.Serve(ln); close(done) }()
+	t.Cleanup(func() { srv.Close(); <-done })
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A request line but never the terminating blank line: headers stay
+	// incomplete, the classic slowloris hold.
+	if _, err := io.WriteString(conn, "GET / HTTP/1.1\r\nHost: x\r\nX-Slow: "); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server responded to an incomplete header instead of closing")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server held the stalled connection past 5s; ReadHeaderTimeout is not enforced")
+	}
+	if held := time.Since(start); held > 3*time.Second {
+		t.Fatalf("stalled connection held %v before close, want ~ReadHeaderTimeout", held)
+	}
+
+	// The same server still answers a well-formed request.
+	conn2, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if _, err := io.WriteString(conn2, "GET / HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	conn2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := bufio.NewReader(conn2).ReadString('\n')
+	if err != nil || !strings.Contains(line, "200") {
+		t.Fatalf("healthy request after slowloris close: line %q, err %v", line, err)
+	}
+}

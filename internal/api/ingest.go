@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"vap/internal/geo"
+	"vap/internal/govern"
 	"vap/internal/store"
 )
 
@@ -75,6 +76,33 @@ type ingestReport struct {
 type errIngestBad struct{ err error }
 
 func (e errIngestBad) Error() string { return e.err.Error() }
+func (e errIngestBad) Unwrap() error { return e.err }
+
+// errIngestTooLarge wraps size-cap violations (413): a frame or line the
+// caller must split, not retry verbatim.
+type errIngestTooLarge struct{ err error }
+
+func (e errIngestTooLarge) Error() string { return e.err.Error() }
+func (e errIngestTooLarge) Unwrap() error { return e.err }
+
+// capReader records whether the body cap fired. MaxBytesReader returns
+// the final in-budget bytes *alongside* its error, so the scanner can
+// hand a truncated line to the JSON parser and fail with a parse error
+// before anyone observes the cap — the recorder lets the handler classify
+// that as 413 (split the upload), not 400 (malformed input).
+type capReader struct {
+	r   io.Reader
+	hit bool
+}
+
+func (c *capReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		c.hit = true
+	}
+	return n, err
+}
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -82,9 +110,40 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("api: ingest is POST-only"))
 		return
 	}
+	// A declared over-limit body fails before reading (or admitting) it.
+	if r.ContentLength > s.cfg.MaxIngestBytes {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("api: ingest body of %d bytes exceeds the %d-byte limit", r.ContentLength, s.cfg.MaxIngestBytes))
+		return
+	}
+	// Ingest admission: writes rank between interactive reads and
+	// analytics scans; the declared body size (bounded by the cap) reserves
+	// against the memory budget while the batch applies.
+	estMem := r.ContentLength
+	if estMem <= 0 {
+		estMem = 64 << 10 // chunked encoding: a nominal reservation
+	}
+	ctx := govern.WithTenant(r.Context(), r.Header.Get(TenantHeader))
+	grant, gerr := s.an.Gov().Admit(ctx, govern.Request{
+		Tenant: govern.TenantFrom(ctx),
+		Class:  govern.ClassIngest,
+		EstMem: estMem,
+	})
+	if gerr != nil {
+		if !writeGovErr(w, gerr) {
+			writeErr(w, http.StatusServiceUnavailable, gerr)
+		}
+		return
+	}
+	defer grant.Release()
+
 	start := time.Now()
 	st := s.an.Store()
-	br := bufio.NewReaderSize(r.Body, 1<<16)
+	// MaxBytesReader is the backstop the Content-Length check above cannot
+	// provide for chunked bodies: reading past the cap fails the request
+	// with a typed *http.MaxBytesError and closes the connection.
+	capped := &capReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxIngestBytes)}
+	br := bufio.NewReaderSize(capped, 1<<16)
 	var rep ingestReport
 	magic, _ := br.Peek(4)
 	var err error
@@ -94,12 +153,26 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		err = s.ingestNDJSON(br, st, &rep)
 	}
 	if err != nil {
+		var tooBig errIngestTooLarge
+		var mbe *http.MaxBytesError
 		var bad errIngestBad
 		status := http.StatusInternalServerError
-		if errors.As(err, &bad) {
+		switch {
+		case capped.hit, errors.As(err, &tooBig), errors.As(err, &mbe), errors.Is(err, bufio.ErrTooLong):
+			status = http.StatusRequestEntityTooLarge
+		case errors.As(err, &bad):
 			status = http.StatusBadRequest
 		}
-		writeErr(w, status, err)
+		// Failed requests still report the work already applied — samples
+		// before the offending line/frame are in the store (and possibly
+		// the WAL); the caller needs the counts to resume, not re-send.
+		writeJSON(w, status, map[string]interface{}{
+			"error":                 err.Error(),
+			"meters":                rep.Meters,
+			"samples":               rep.Samples,
+			"skipped_out_of_order":  rep.OutOfOrder,
+			"skipped_unknown_meter": rep.UnknownMeter,
+		})
 		return
 	}
 	if r.URL.Query().Get("sync") == "1" {
@@ -250,7 +323,7 @@ func (s *Server) ingestBinary(br *bufio.Reader, st *store.Store, rep *ingestRepo
 			}
 			n := binary.LittleEndian.Uint32(cnt[:])
 			if n > ingestMaxBatch {
-				return errIngestBad{fmt.Errorf("api: ingest frame %d: batch of %d exceeds the %d-sample frame limit", frame, n, ingestMaxBatch)}
+				return errIngestTooLarge{fmt.Errorf("api: ingest frame %d: batch of %d exceeds the %d-sample frame limit", frame, n, ingestMaxBatch)}
 			}
 			if cap(scratch) < int(n) {
 				scratch = make([]store.Sample, n)

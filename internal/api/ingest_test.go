@@ -158,21 +158,24 @@ func TestIngestBadInput(t *testing.T) {
 	cases := []struct {
 		name, contentType string
 		body              string
+		want              int
 	}{
-		{"malformedJSON", "application/x-ndjson", `{"meter":`},
-		{"missingMeter", "application/x-ndjson", `{"ts":60,"v":1}`},
-		{"lonWithoutLat", "application/x-ndjson", `{"meter":1,"lon":12.5}`},
-		{"tsWithoutValue", "application/x-ndjson", `{"meter":1,"ts":60}`},
-		{"emptyObject", "application/x-ndjson", `{"meter":1}`},
-		{"unknownFrame", "application/octet-stream", "VAPB\xff" + strings.Repeat("\x00", 8)},
-		{"truncatedFrame", "application/octet-stream", "VAPB\x02\x01\x00\x00"},
-		{"hugeBatchCount", "application/octet-stream", "VAPB\x02" + strings.Repeat("\x00", 8) + "\xff\xff\xff\xff"},
+		{"malformedJSON", "application/x-ndjson", `{"meter":`, http.StatusBadRequest},
+		{"missingMeter", "application/x-ndjson", `{"ts":60,"v":1}`, http.StatusBadRequest},
+		{"lonWithoutLat", "application/x-ndjson", `{"meter":1,"lon":12.5}`, http.StatusBadRequest},
+		{"tsWithoutValue", "application/x-ndjson", `{"meter":1,"ts":60}`, http.StatusBadRequest},
+		{"emptyObject", "application/x-ndjson", `{"meter":1}`, http.StatusBadRequest},
+		{"unknownFrame", "application/octet-stream", "VAPB\xff" + strings.Repeat("\x00", 8), http.StatusBadRequest},
+		{"truncatedFrame", "application/octet-stream", "VAPB\x02\x01\x00\x00", http.StatusBadRequest},
+		// A frame declaring more samples than the cap is a size violation
+		// (413: split the batch), not a syntax error.
+		{"hugeBatchCount", "application/octet-stream", "VAPB\x02" + strings.Repeat("\x00", 8) + "\xff\xff\xff\xff", http.StatusRequestEntityTooLarge},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			code, out := postIngest(t, srv.URL+"/api/ingest", tc.contentType, []byte(tc.body))
-			if code != http.StatusBadRequest {
-				t.Errorf("status %d (%v), want 400", code, out)
+			if code != tc.want {
+				t.Errorf("status %d (%v), want %d", code, out, tc.want)
 			}
 		})
 	}

@@ -8,7 +8,6 @@ import (
 	"io"
 	"net/http"
 	"strings"
-	"time"
 
 	"vap/internal/vql"
 )
@@ -60,10 +59,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("api: empty query"))
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), 120*time.Second)
+	ctx, cancel := s.handlerCtx(r)
 	defer cancel()
 	out, err := s.an.VQL(ctx, src)
 	if err != nil {
+		if writeGovErr(w, err) {
+			return // 422 cost rejection or 429 shed, typed
+		}
 		var ve *vql.Error
 		switch {
 		case errors.As(err, &ve):

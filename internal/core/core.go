@@ -24,6 +24,7 @@ import (
 	"vap/internal/exec"
 	"vap/internal/flow"
 	"vap/internal/geo"
+	"vap/internal/govern"
 	"vap/internal/kde"
 	"vap/internal/query"
 	"vap/internal/reduce"
@@ -39,6 +40,9 @@ type Options struct {
 	Workers int
 	// CacheEntries bounds the versioned result cache (<= 0 selects 64).
 	CacheEntries int
+	// Gov is the admission controller all VQL executions pass through
+	// (nil selects one with govern.Config defaults).
+	Gov *govern.Controller
 }
 
 // Analyzer is the façade over the data layer the presentation layer talks
@@ -49,6 +53,7 @@ type Options struct {
 type Analyzer struct {
 	eng *query.Engine
 	ex  *exec.Engine
+	gov *govern.Controller
 }
 
 // NewAnalyzer wraps a store with default execution options.
@@ -59,9 +64,14 @@ func NewAnalyzer(st *store.Store) *Analyzer {
 // NewAnalyzerOpts wraps a store with explicit execution options.
 func NewAnalyzerOpts(st *store.Store, opts Options) *Analyzer {
 	ex := exec.New(exec.Options{Workers: opts.Workers, CacheEntries: opts.CacheEntries})
+	gov := opts.Gov
+	if gov == nil {
+		gov = govern.New(govern.Config{})
+	}
 	return &Analyzer{
 		eng: query.NewEngineWorkers(st, ex.Workers()),
 		ex:  ex,
+		gov: gov,
 	}
 }
 
@@ -76,6 +86,10 @@ func (a *Analyzer) Exec() *exec.Engine { return a.ex }
 
 // ExecStats reports cache and deduplication counters.
 func (a *Analyzer) ExecStats() exec.Stats { return a.ex.Stats() }
+
+// Gov exposes the admission controller (governance stats, front-door
+// admission for ingest).
+func (a *Analyzer) Gov() *govern.Controller { return a.gov }
 
 // selectionKeyParts canonicalizes a Selection for cache keying: explicit
 // meter sets are sorted (ResolveMeters sorts them anyway), so two

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"vap/internal/exec"
+	"vap/internal/govern"
 	"vap/internal/vql"
 )
 
@@ -67,6 +68,30 @@ func (a *Analyzer) VQL(ctx context.Context, src string) (*VQLOutput, error) {
 		}
 		return &VQLOutput{Result: res, PlanHash: p.Fingerprint()}, nil
 	}
+	// Admission: the planner's estimates (samples to decode, peak in-flight
+	// bytes) are checked against the tenant's ceilings and budgets BEFORE
+	// the exec engine sees the query — a rejected or shed query never
+	// reaches the cache or the singleflight table, so it leaves no residual
+	// state. The grant rides the context: the executor's batch loops pace
+	// against it, and the controller's query deadline (if configured)
+	// bounds execution.
+	cost := vql.EstimateScan(a.eng, p, ids, from, to)
+	grant, err := a.gov.Admit(ctx, govern.Request{
+		Tenant:     govern.TenantFrom(ctx),
+		EstSamples: cost.EstSamples,
+		EstMem:     cost.EstMemBytes(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer grant.Release()
+	ctx = govern.WithGrant(ctx, grant)
+	if d := grant.Deadline(); !d.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, d)
+		defer cancel()
+	}
+
 	fp := a.Store().Fingerprint(ids)
 	key := exec.KeyOf(fp, "vql", p.Fingerprint(), from, to)
 	v, err := a.ex.Do(ctx, key, func(ctx context.Context) (any, error) {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"vap/internal/govern"
 )
 
 // ForEach runs fn(i) for every i in [0, n) across up to workers
@@ -15,16 +17,22 @@ import (
 // ctx's error. With workers <= 1 (or n <= 1) the loop runs inline on the
 // calling goroutine, which keeps single-core and benchmark-baseline paths
 // allocation-free.
+//
+// The per-iteration cancellation probe goes through govern.PaceFunc: work
+// running under an admitted analytics grant additionally yields between
+// iterations while interactive requests are in flight, so wide fan-outs
+// cannot monopolize the cores against cheap reads.
 func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
+	pace := govern.PaceFunc(ctx)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
+			if err := pace(ctx); err != nil {
 				return err
 			}
 			if err := fn(i); err != nil {
@@ -71,6 +79,10 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 					fail(ctx.Err())
 					return
 				default:
+				}
+				if err := pace(ctx); err != nil {
+					fail(err)
+					return
 				}
 				i := int(cursor.Add(1)) - 1
 				if i >= n {

@@ -1,0 +1,138 @@
+package govern
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type tenantKey struct{}
+type grantKey struct{}
+
+// WithTenant stamps the request's tenant on ctx (empty = DefaultTenant).
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// TenantFrom returns the tenant stamped on ctx, or DefaultTenant.
+func TenantFrom(ctx context.Context) string {
+	if t, ok := ctx.Value(tenantKey{}).(string); ok && t != "" {
+		return t
+	}
+	return DefaultTenant
+}
+
+// WithGrant stamps an admitted grant on ctx so the execution layers can
+// pace against it.
+func WithGrant(ctx context.Context, g *Grant) context.Context {
+	return context.WithValue(ctx, grantKey{}, g)
+}
+
+// GrantFrom returns the grant stamped on ctx, or nil.
+func GrantFrom(ctx context.Context) *Grant {
+	g, _ := ctx.Value(grantKey{}).(*Grant)
+	return g
+}
+
+// PaceFunc resolves ctx's grant once and returns the per-batch check the
+// executor's hot loops call: Grant.Pace for governed work, a plain
+// ctx.Err probe otherwise. Resolving up front keeps the context-value
+// walk off the batch loop.
+func PaceFunc(ctx context.Context) func(context.Context) error {
+	if g := GrantFrom(ctx); g != nil {
+		return g.Pace
+	}
+	return func(ctx context.Context) error { return ctx.Err() }
+}
+
+// ParseBytes parses a human-friendly byte size: a plain integer, or an
+// integer/decimal with a KB/MB/GB (decimal) or KiB/MiB/GiB (binary)
+// suffix, case-insensitive ("512MiB", "1gb", "65536").
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, fmt.Errorf("govern: empty byte size")
+	}
+	mult := int64(1)
+	lower := strings.ToLower(t)
+	for _, suf := range []struct {
+		name string
+		mult int64
+	}{
+		{"kib", 1 << 10}, {"mib", 1 << 20}, {"gib", 1 << 30},
+		{"kb", 1000}, {"mb", 1000 * 1000}, {"gb", 1000 * 1000 * 1000},
+		{"b", 1},
+	} {
+		if strings.HasSuffix(lower, suf.name) {
+			mult = suf.mult
+			t = strings.TrimSpace(t[:len(t)-len(suf.name)])
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("govern: bad byte size %q: %w", s, err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("govern: negative byte size %q", s)
+	}
+	return int64(v * float64(mult)), nil
+}
+
+// ParseTenantQuotas parses the -tenant-quotas flag:
+//
+//	name=maxConcurrent,memBudget,maxCostSamples[;name=...]
+//
+// e.g. "dash=16,64MiB,2000000;batch=2,256MiB,0". Each field may be 0
+// (inherit the global bound / no ceiling); memBudget accepts ParseBytes
+// suffixes and maxCostSamples accepts scientific notation ("5e8").
+func ParseTenantQuotas(s string) (map[string]Quota, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]Quota)
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, spec, ok := strings.Cut(part, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("govern: bad tenant quota %q (want name=conc,mem,cost)", part)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("govern: duplicate tenant %q in quotas", name)
+		}
+		fields := strings.Split(spec, ",")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("govern: tenant %q wants 3 comma-separated fields (conc,mem,cost), got %d", name, len(fields))
+		}
+		var q Quota
+		conc, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+		if err != nil || conc < 0 {
+			return nil, fmt.Errorf("govern: tenant %q: bad max-concurrent %q", name, fields[0])
+		}
+		q.MaxConcurrent = conc
+		mem := strings.TrimSpace(fields[1])
+		if mem != "0" {
+			q.MemBudget, err = ParseBytes(mem)
+			if err != nil {
+				return nil, fmt.Errorf("govern: tenant %q: %w", name, err)
+			}
+		}
+		costStr := strings.TrimSpace(fields[2])
+		cost, err := strconv.ParseFloat(costStr, 64)
+		if err != nil || cost < 0 {
+			return nil, fmt.Errorf("govern: tenant %q: bad cost ceiling %q", name, fields[2])
+		}
+		q.MaxCostSamples = int64(cost)
+		out[name] = q
+	}
+	return out, nil
+}

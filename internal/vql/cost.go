@@ -61,9 +61,50 @@ type ScanCost struct {
 	TierEdges   int64
 	TierReason  string
 
+	// EstGroups estimates the group states the scan materializes across
+	// partials and the sink — the driver of aggregation-state memory.
+	EstGroups int64
+
 	// overlap counts the meters whose extent intersects the window — the
 	// tier cost model's bucket-count multiplier.
 	overlap int
+}
+
+// Approximate per-unit sizes for the in-flight memory estimate: one
+// aggregate state (aggState plus slice/alignment overhead), one hash-map
+// group entry (key + pointer + state), and one decoded sample in batch
+// scratch (timestamp + value).
+const (
+	aggStateBytes   = 48
+	groupEntryBytes = 96
+	sampleBytes     = 16
+)
+
+// EstMemBytes estimates the scan's peak in-flight bytes from the physical
+// choices: per-worker decode scratch, the dense bucket arrays (one per
+// chunk worker plus the merge sink), and the group states. It is the
+// admission controller's memory-budget input — a deliberate overestimate
+// (sparse meters touch fewer buckets than the bound assumes) so budget
+// enforcement errs toward shedding, never toward OOM.
+func (c *ScanCost) EstMemBytes() int64 {
+	w := int64(c.Workers)
+	if w < 1 {
+		w = 1
+	}
+	mem := w * store.BatchSize * sampleBytes
+	if c.Strategy == GroupDense {
+		mem += (w + 1) * int64(c.Buckets) * aggStateBytes
+	}
+	return mem + c.EstGroups*groupEntryBytes
+}
+
+// EstimateScan exposes the planner's cost estimate for an already-resolved
+// scan without executing anything — the admission controller's input.
+// Estimates come from append-time chunk metadata, so calling this never
+// decodes data.
+func EstimateScan(eng *query.Engine, p *Plan, ids []int64, from, to int64) ScanCost {
+	c, _ := planScan(p, eng.Store().SeriesStats(ids), from, to, eng.Workers(), eng.Store().RollupResolutions())
+	return c
 }
 
 // planScan estimates the cost of scanning ids over [from, to) from
@@ -114,6 +155,26 @@ func planScan(p *Plan, stats []store.SeriesStats, from, to int64, engineWorkers 
 		c.Strategy = GroupMap
 	}
 	planTier(p, &c, from, to, tiers)
+
+	// Group-state estimate: one state per overlapping meter without a
+	// bucket dimension; per (meter, bucket) otherwise, with the map
+	// strategy's bucket count bounded by the window span. Both bounds cap
+	// at the sample estimate — a group needs at least one sample to exist.
+	switch {
+	case !p.hasBucket:
+		c.EstGroups = int64(c.overlap)
+	case c.Strategy == GroupDense:
+		c.EstGroups = int64(c.overlap) * int64(c.Buckets)
+	default:
+		bw := p.Granularity().ApproxSeconds()
+		if bw < 1 {
+			bw = 1
+		}
+		c.EstGroups = int64(c.overlap) * ((to-from)/bw + 1)
+	}
+	if c.EstGroups > c.EstSamples {
+		c.EstGroups = c.EstSamples
+	}
 
 	// Fan-out sizes to the work actually done: tier buckets merged plus
 	// edge samples decoded when a tier serves, decoded samples otherwise.

@@ -23,6 +23,7 @@ import (
 
 	"vap/internal/exec"
 	"vap/internal/geo"
+	"vap/internal/govern"
 	"vap/internal/query"
 	"vap/internal/store"
 )
@@ -309,7 +310,7 @@ func ExecuteResolved(ctx context.Context, eng *query.Engine, p *Plan, ids []int6
 	// the scalar executor — and independent of the planner's worker/chunk
 	// split (float addition is not associative; collapsing a chunk's meters
 	// into shared state would tie result bytes to the fan-out choice).
-	sc := newScanConfig(p, eng, bounds, from, to)
+	sc := newScanConfig(ctx, p, eng, bounds, from, to)
 	if cost.TierRes != 0 {
 		sc.tierRes = cost.TierRes
 		sc.aFrom = alignUp(from, cost.TierRes)
@@ -466,11 +467,17 @@ type scanConfig struct {
 	// window edges outside them decode raw.
 	tierRes    int64
 	aFrom, aTo int64
+	// pace is the per-batch governance check: it surfaces deadline or
+	// cancellation between batches (so a cancelled monster scan aborts
+	// mid-meter, not after it) and yields the CPU for admitted analytics
+	// grants while interactive work is in flight.
+	pace func(context.Context) error
 }
 
-func newScanConfig(p *Plan, eng *query.Engine, bounds []int64, from, to int64) *scanConfig {
+func newScanConfig(ctx context.Context, p *Plan, eng *query.Engine, bounds []int64, from, to int64) *scanConfig {
 	sc := &scanConfig{
 		eng:       eng,
+		pace:      govern.PaceFunc(ctx),
 		from:      from,
 		to:        to,
 		gran:      p.Granularity(),
@@ -522,7 +529,7 @@ func (sc *scanConfig) scanChunk(ctx context.Context, ids []int64, vers []uint64,
 	cat := sc.eng.Store().Catalog()
 	samples := 0
 	for i, id := range ids {
-		if err := ctx.Err(); err != nil {
+		if err := sc.pace(ctx); err != nil {
 			return 0, err
 		}
 		base := groupKey{}
@@ -539,7 +546,7 @@ func (sc *scanConfig) scanChunk(ctx context.Context, ids []int64, vers []uint64,
 				// Tier-served dense scan: interior buckets merge by index
 				// arithmetic into the same bucket-indexed scratch the raw
 				// path uses — no group-key hashing on the hot path.
-				n, lo, hi, ver, terr := sc.scanTierDense(id, batch, dense)
+				n, lo, hi, ver, terr := sc.scanTierDense(ctx, id, batch, dense)
 				if terr != nil {
 					return 0, terr
 				}
@@ -563,7 +570,7 @@ func (sc *scanConfig) scanChunk(ctx context.Context, ids []int64, vers []uint64,
 				continue
 			}
 			local := make(map[groupKey]*aggState)
-			n, ver, terr := sc.scanTier(id, base, batch, local)
+			n, ver, terr := sc.scanTier(ctx, id, base, batch, local)
 			if terr != nil {
 				return 0, terr
 			}
@@ -584,7 +591,7 @@ func (sc *scanConfig) scanChunk(ctx context.Context, ids []int64, vers []uint64,
 
 		switch {
 		case sc.bounds != nil: // dense
-			n, lo, hi, derr := sc.scanDense(it, batch, dense)
+			n, lo, hi, derr := sc.scanDense(ctx, it, batch, dense)
 			if derr != nil {
 				return 0, derr
 			}
@@ -606,7 +613,7 @@ func (sc *scanConfig) scanChunk(ctx context.Context, ids []int64, vers []uint64,
 			}
 		case sc.hasBucket: // map grouping, run-at-a-time
 			local := make(map[groupKey]*aggState)
-			n, merr := sc.scanMap(it, batch, base, local)
+			n, merr := sc.scanMap(ctx, it, batch, base, local)
 			if merr != nil {
 				return 0, merr
 			}
@@ -618,7 +625,7 @@ func (sc *scanConfig) scanChunk(ctx context.Context, ids []int64, vers []uint64,
 			}
 		default: // single group per base key
 			local := make(map[groupKey]*aggState)
-			n, serr := sc.scanSingle(it, batch, base, local)
+			n, serr := sc.scanSingle(ctx, it, batch, base, local)
 			if serr != nil {
 				return 0, serr
 			}
@@ -637,12 +644,17 @@ func (sc *scanConfig) scanChunk(ctx context.Context, ids []int64, vers []uint64,
 // half-open range of bucket indices it touched. Bucket boundaries come
 // from the precomputed ends array; because timestamps are ascending the
 // bucket index only moves forward, so boundary detection is one compare
-// per sample and the Truncate function never runs.
-func (sc *scanConfig) scanDense(it *store.SeriesIter, batch *store.Batch, dense []aggState) (n, lo, hi int, err error) {
+// per sample and the Truncate function never runs. Each decoded batch is
+// bracketed by a pace call: governed scans observe deadlines and yield to
+// interactive work at batch granularity, never mid-kernel.
+func (sc *scanConfig) scanDense(ctx context.Context, it *store.SeriesIter, batch *store.Batch, dense []aggState) (n, lo, hi int, err error) {
 	ends := sc.ends
 	bi := 0
 	first := true
 	for it.NextBatch(batch) {
+		if err := sc.pace(ctx); err != nil {
+			return n, lo, hi, err
+		}
 		ts, vals := batch.TS, batch.Val
 		n += len(ts)
 		k := 0
@@ -675,12 +687,15 @@ func (sc *scanConfig) scanDense(it *store.SeriesIter, batch *store.Batch, dense 
 // scanMap folds one meter with hash grouping on the bucket start —
 // the fallback when bucket starts are not enumerable. Truncate/Next and
 // the map lookup run once per bucket run, not per sample.
-func (sc *scanConfig) scanMap(it *store.SeriesIter, batch *store.Batch, base groupKey, local map[groupKey]*aggState) (int, error) {
+func (sc *scanConfig) scanMap(ctx context.Context, it *store.SeriesIter, batch *store.Batch, base groupKey, local map[groupKey]*aggState) (int, error) {
 	key := base
 	var cur *aggState
 	bEnd := int64(math.MinInt64)
 	n := 0
 	for it.NextBatch(batch) {
+		if err := sc.pace(ctx); err != nil {
+			return n, err
+		}
 		ts, vals := batch.TS, batch.Val
 		n += len(ts)
 		k := 0
@@ -711,10 +726,13 @@ func (sc *scanConfig) scanMap(it *store.SeriesIter, batch *store.Batch, base gro
 
 // scanSingle folds one meter into its base-key group — plans with no
 // bucket dimension, where a whole batch is one run.
-func (sc *scanConfig) scanSingle(it *store.SeriesIter, batch *store.Batch, base groupKey, local map[groupKey]*aggState) (int, error) {
+func (sc *scanConfig) scanSingle(ctx context.Context, it *store.SeriesIter, batch *store.Batch, base groupKey, local map[groupKey]*aggState) (int, error) {
 	cur := local[base]
 	n := 0
 	for it.NextBatch(batch) {
+		if err := sc.pace(ctx); err != nil {
+			return n, err
+		}
 		// Lazily created on the first non-empty batch: a meter with no
 		// in-window samples must not materialize an empty group (the scalar
 		// semantics — groups exist only where samples do).
@@ -741,14 +759,14 @@ func (sc *scanConfig) scanSingle(it *store.SeriesIter, batch *store.Batch, base 
 // group's state is bit-identical to what a raw scan would have built.
 // Returns the meter's in-window sample count (edge samples decoded plus
 // the samples summarized by the merged buckets) and its capture version.
-func (sc *scanConfig) scanTier(id int64, base groupKey, batch *store.Batch, local map[groupKey]*aggState) (int, uint64, error) {
+func (sc *scanConfig) scanTier(ctx context.Context, id int64, base groupKey, batch *store.Batch, local map[groupKey]*aggState) (int, uint64, error) {
 	tsc, err := sc.eng.Store().TierScan(id, sc.tierRes, sc.from, sc.aFrom, sc.aTo, sc.to)
 	if err != nil {
 		return 0, 0, err
 	}
 	n := 0
 	if tsc.Left != nil {
-		en, err := sc.foldEdge(tsc.Left, batch, base, local)
+		en, err := sc.foldEdge(ctx, tsc.Left, batch, base, local)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -768,7 +786,7 @@ func (sc *scanConfig) scanTier(id int64, base groupKey, batch *store.Batch, loca
 		n += int(b.Count + b.NaN)
 	})
 	if tsc.Right != nil {
-		en, err := sc.foldEdge(tsc.Right, batch, base, local)
+		en, err := sc.foldEdge(ctx, tsc.Right, batch, base, local)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -784,7 +802,7 @@ func (sc *scanConfig) scanTier(id int64, base groupKey, batch *store.Batch, loca
 // bucket starts ascend in tierRes steps from bounds[0]. Returns the
 // touched bucket-index range [lo, hi) alongside the sample count and the
 // meter's snapshot version.
-func (sc *scanConfig) scanTierDense(id int64, batch *store.Batch, dense []aggState) (n, lo, hi int, ver uint64, err error) {
+func (sc *scanConfig) scanTierDense(ctx context.Context, id int64, batch *store.Batch, dense []aggState) (n, lo, hi int, ver uint64, err error) {
 	tsc, terr := sc.eng.Store().TierScan(id, sc.tierRes, sc.from, sc.aFrom, sc.aTo, sc.to)
 	if terr != nil {
 		return 0, 0, 0, 0, terr
@@ -807,7 +825,7 @@ func (sc *scanConfig) scanTierDense(id int64, batch *store.Batch, dense []aggSta
 		}
 	}
 	if tsc.Left != nil {
-		en, el, eh, eerr := sc.scanDense(tsc.Left, batch, dense)
+		en, el, eh, eerr := sc.scanDense(ctx, tsc.Left, batch, dense)
 		if eerr != nil {
 			return 0, 0, 0, 0, eerr
 		}
@@ -822,7 +840,7 @@ func (sc *scanConfig) scanTierDense(id int64, batch *store.Batch, dense []aggSta
 		touch(bi, bi+1)
 	})
 	if tsc.Right != nil {
-		en, el, eh, eerr := sc.scanDense(tsc.Right, batch, dense)
+		en, el, eh, eerr := sc.scanDense(ctx, tsc.Right, batch, dense)
 		if eerr != nil {
 			return 0, 0, 0, 0, eerr
 		}
@@ -834,11 +852,11 @@ func (sc *scanConfig) scanTierDense(id int64, batch *store.Batch, dense []aggSta
 
 // foldEdge decodes one raw edge of a tier-served scan with the matching
 // grouping kernel.
-func (sc *scanConfig) foldEdge(it *store.SeriesIter, batch *store.Batch, base groupKey, local map[groupKey]*aggState) (int, error) {
+func (sc *scanConfig) foldEdge(ctx context.Context, it *store.SeriesIter, batch *store.Batch, base groupKey, local map[groupKey]*aggState) (int, error) {
 	if sc.hasBucket {
-		return sc.scanMap(it, batch, base, local)
+		return sc.scanMap(ctx, it, batch, base, local)
 	}
-	return sc.scanSingle(it, batch, base, local)
+	return sc.scanSingle(ctx, it, batch, base, local)
 }
 
 // ExecuteResolvedScalar is the sample-at-a-time reference executor: the

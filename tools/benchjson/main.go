@@ -11,9 +11,12 @@
 // of their ns/op means is recorded as derived.vql_exec_speedup — the
 // within-run, same-binary number the ≥5× vectorization floor is judged
 // on. The paired VQLRollup/Raw and VQLRollup/Tier benchmarks likewise
-// record derived.rollup_speedup, the ≥10× tier-serving floor, and the
+// record derived.rollup_speedup, the ≥10× tier-serving floor, the
 // paired Recover/V2Serial and Recover/V3Parallel benchmarks record
-// derived.recover_speedup, the ≥4× cold-start recovery floor.
+// derived.recover_speedup, the ≥4× cold-start recovery floor, and the
+// paired GovernMixed/Unloaded and GovernMixed/Loaded benchmarks record
+// derived.govern_cheap_p99_ms plus derived.govern_tail_ratio, the ≤5×
+// cheap-query tail-latency bound governance must hold under load.
 //
 // A trajectory file carries a series name (-series, default "vql") so
 // different artifact files (BENCH_vql.json, BENCH_rollup.json) stay
@@ -27,6 +30,8 @@
 //	    go run ./tools/benchjson -series rollup -out BENCH_rollup.json -label "my change"
 //	VAP_RECOVER_FIXTURE=1000x100000 go test -run XXX -bench BenchmarkRecover -benchtime 1x . |
 //	    go run ./tools/benchjson -series recover -out BENCH_recover.json -label "my change"
+//	go test -run XXX -bench GovernMixed -benchtime 1000x . |
+//	    go run ./tools/benchjson -series govern -out BENCH_govern.json -label "my change"
 package main
 
 import (
@@ -141,6 +146,17 @@ func parse(r *bufio.Scanner) (run, error) {
 		}
 		out.Derived["recover_speedup"] = round2(v2s["ns_per_op"] / v3p["ns_per_op"])
 	}
+	unl, okU := out.Benchmarks["GovernMixed/Unloaded"]
+	lod, okL := out.Benchmarks["GovernMixed/Loaded"]
+	if okU && okL && unl["p99_ms"] > 0 {
+		if out.Derived == nil {
+			out.Derived = map[string]float64{}
+		}
+		// Cheap-query p99 under two monster scans, and its ratio to the
+		// unloaded p99 — the <= 5x ISSUE 9 governance acceptance bound.
+		out.Derived["govern_cheap_p99_ms"] = round2(lod["p99_ms"])
+		out.Derived["govern_tail_ratio"] = round2(lod["p99_ms"] / unl["p99_ms"])
+	}
 	return out, nil
 }
 
@@ -202,6 +218,9 @@ func main() {
 	}
 	if d := entry.Derived["recover_speedup"]; d != 0 {
 		note += fmt.Sprintf(" (recover_speedup %.2fx)", d)
+	}
+	if d := entry.Derived["govern_tail_ratio"]; d != 0 {
+		note += fmt.Sprintf(" (govern_tail_ratio %.2fx)", d)
 	}
 	fmt.Printf("recorded %d benchmarks to %s%s\n", len(entry.Benchmarks), *outPath, note)
 }

@@ -40,6 +40,7 @@ import (
 	"vap/internal/exec"
 	"vap/internal/gen"
 	"vap/internal/geo"
+	"vap/internal/govern"
 	"vap/internal/query"
 	"vap/internal/reduce"
 	"vap/internal/store"
@@ -153,6 +154,33 @@ func NewAnalyzer(st *Store) *Analyzer { return core.NewAnalyzer(st) }
 func NewAnalyzerWithOptions(st *Store, opts ExecOptions) *Analyzer {
 	return core.NewAnalyzerOpts(st, opts)
 }
+
+// GovernConfig tunes the admission controller embedded analyzers run
+// under (ExecOptions.Gov): global and per-tenant concurrency, in-flight
+// memory budgets, per-query cost ceilings, queue bounds, and the
+// interactive/analytics classification cutoff. The zero value selects
+// production-safe defaults sized to the host.
+type GovernConfig = govern.Config
+
+// GovernQuota bounds one tenant (see GovernConfig.Tenants).
+type GovernQuota = govern.Quota
+
+// Governor is the admission controller; build one with NewGovernor and
+// pass it via ExecOptions.Gov to share budgets across analyzers.
+type Governor = govern.Controller
+
+// NewGovernor returns an admission controller for cfg (zero value =
+// defaults).
+func NewGovernor(cfg GovernConfig) *Governor { return govern.New(cfg) }
+
+// CostError is the typed up-front rejection for a query whose planner
+// estimate exceeds its tenant's cost ceiling or memory budget; retrying
+// without narrowing the query cannot succeed.
+type CostError = govern.CostError
+
+// ShedError is the typed overload rejection: the request was shed under
+// load and carries a Retry-After hint.
+type ShedError = govern.ShedError
 
 // TypicalConfig parameterizes typical-pattern discovery.
 type TypicalConfig = core.TypicalConfig
