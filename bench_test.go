@@ -10,9 +10,11 @@ package vap_test
 
 import (
 	"context"
+	"database/sql"
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http/httptest"
 	"os"
 	"reflect"
@@ -344,6 +346,93 @@ func BenchmarkVQLExec(b *testing.B) {
 	}
 	b.Run("Scalar", func(b *testing.B) { run(b, vql.ExecuteResolvedScalar) })
 	b.Run("Vectorized", func(b *testing.B) { run(b, vql.ExecuteResolved) })
+}
+
+// BenchmarkWireQuery pairs the two statement transports over the same
+// warmed query core: the MySQL wire protocol (database/sql through the
+// in-repo vapwire driver against a real TCP listener) and the HTTP JSON
+// codec (POST /api/query). The exec cache stays warm, so each round trip
+// measures parse + admission + memo hit + transport encode/decode — the
+// per-query cost a dashboard pays — and tools/benchjson derives
+// wire_overhead_ratio = Wire ns/op over HTTP ns/op for BENCH_wire.json.
+func BenchmarkWireQuery(b *testing.B) {
+	setupBench(b)
+	const q = `SELECT bucket(daily) AS day, mean(value) AS avg_kwh, count(*)
+		FROM meters WHERE zone = 'residential'
+		GROUP BY bucket(daily) ORDER BY avg_kwh DESC LIMIT 14`
+
+	b.Run("Wire", func(b *testing.B) {
+		ws, err := vap.NewWireServer(vap.WireConfig{
+			Core:         vap.NewQueryCore(benchData.an),
+			QueryTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go ws.Serve(ln)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			ws.Shutdown(ctx)
+		}()
+		db, err := sql.Open("vapwire", "vap@"+ln.Addr().String()+"/vap")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		db.SetMaxOpenConns(1)
+		run := func() int {
+			rows, err := db.Query(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			for rows.Next() {
+				var day, avg, cnt string
+				if err := rows.Scan(&day, &avg, &cnt); err != nil {
+					b.Fatal(err)
+				}
+				n++
+			}
+			if err := rows.Close(); err != nil {
+				b.Fatal(err)
+			}
+			return n
+		}
+		if n := run(); n != 14 {
+			b.Fatalf("warmup returned %d rows, want 14", n)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run()
+		}
+	})
+
+	b.Run("HTTP", func(b *testing.B) {
+		srv := httptest.NewServer(vap.NewHTTPServer(benchData.an, nil))
+		defer srv.Close()
+		client := srv.Client()
+		run := func() {
+			resp, err := client.Post(srv.URL+"/api/query", "text/plain", strings.NewReader(q))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+		run() // warm the exec cache before timing
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run()
+		}
+	})
 }
 
 // rollupBench holds two identically loaded dense multi-month stores — one

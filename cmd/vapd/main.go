@@ -11,6 +11,14 @@
 //	     [-query-deadline 30s] [-max-queue 256] [-max-queue-wait 5s] [-interactive-cutoff 2000000]
 //	     [-handler-timeout 120s] [-max-ingest-bytes 1GiB]
 //	     [-read-header-timeout 10s] [-read-timeout 15m] [-write-timeout 0] [-idle-timeout 2m]
+//	     [-mysql-addr :3306] [-mysql-users users.txt] [-max-conns N] [-shutdown-timeout 5s]
+//
+// With -mysql-addr, a MySQL wire-protocol listener serves the same VQL
+// statements to stock MySQL clients: mysql_native_password auth against
+// the -mysql-users file (username:password:tenant per line; without the
+// flag a single password-less "vap" user on the default tenant),
+// governance rejections as ERR packets from the same error taxonomy the
+// HTTP API uses, and -max-conns bounding open wire connections.
 //
 // With -dir, the store is durable (segmented WAL + snapshots); if the
 // directory is empty a synthetic dataset is generated and snapshotted into
@@ -43,6 +51,7 @@ import (
 	"vap/internal/govern"
 	"vap/internal/store"
 	"vap/internal/stream"
+	"vap/internal/wire"
 )
 
 func main() {
@@ -77,6 +86,11 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 0, "http.Server.ReadTimeout over the whole request incl. body (0 = default 15m, negative disables)")
 	writeTimeout := flag.Duration("write-timeout", 0, "http.Server.WriteTimeout (0 = default disabled: /api/stream is long-lived SSE)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "http.Server.IdleTimeout for keep-alive connections (0 = default 2m, negative disables)")
+	// MySQL wire-protocol frontend.
+	mysqlAddr := flag.String("mysql-addr", "", "MySQL wire-protocol listen address, e.g. :3306 (empty = disabled)")
+	mysqlUsers := flag.String("mysql-users", "", "wire-protocol user file, username:password:tenant per line (empty = one password-less 'vap' user on the default tenant)")
+	maxConns := flag.Int("max-conns", 0, "open wire-protocol connection bound enforced by the governor before the handshake (0 = unlimited)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 5*time.Second, "graceful drain bound for both listeners on SIGINT")
 	flag.Parse()
 
 	rollups, err := parseRollupRes(*rollupRes)
@@ -140,6 +154,7 @@ func main() {
 		MaxQueueWait:      *maxQueueWait,
 		InteractiveCutoff: *interactiveCutoff,
 		QueryDeadline:     *queryDeadline,
+		MaxConns:          *maxConns,
 	}
 	if *memBudget != "" {
 		if govCfg.MemBudget, err = govern.ParseBytes(*memBudget); err != nil {
@@ -222,22 +237,67 @@ func main() {
 			log.Fatalf("parse -max-ingest-bytes: %v", err)
 		}
 	}
-	srv := api.NewHTTPServer(*addr, api.NewServerWith(an, hub, apiCfg).Routes(), api.ServerTimeouts{
+	apiSrv := api.NewServerWith(an, hub, apiCfg)
+	srv := api.NewHTTPServer(*addr, apiSrv.Routes(), api.ServerTimeouts{
 		ReadHeader: *readHeaderTimeout,
 		Read:       *readTimeout,
 		Write:      *writeTimeout,
 		Idle:       *idleTimeout,
 	})
+
+	var wireSrv *wire.Server
+	if *mysqlAddr != "" {
+		users, err := wire.LoadUsers(*mysqlUsers)
+		if err != nil {
+			log.Fatalf("load -mysql-users: %v", err)
+		}
+		wireSrv, err = wire.NewServer(wire.Config{
+			Addr:         *mysqlAddr,
+			Users:        users,
+			Core:         apiSrv.Core(),
+			QueryTimeout: apiSrv.HandlerTimeout(),
+			Logf:         log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("wire server: %v", err)
+		}
+		go func() {
+			if err := wireSrv.ListenAndServe(); err != nil && err != wire.ErrServerClosed {
+				log.Fatalf("wire serve: %v", err)
+			}
+		}()
+		log.Printf("MySQL wire protocol listening on %s (%d users)", *mysqlAddr, len(users))
+	}
+
+	// Unified graceful shutdown: on SIGINT close the stream hub first (so
+	// long-lived SSE handlers return and the HTTP drain can complete),
+	// then drain both listeners — wire clients get a final ERR 1053, HTTP
+	// keep-alives finish their in-flight request — all bounded by one
+	// shutdown context.
+	drained := make(chan struct{})
 	go func() {
+		defer close(drained)
 		<-ctx.Done()
-		shutCtx, c2 := context.WithTimeout(context.Background(), 3*time.Second)
+		shutCtx, c2 := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer c2()
-		_ = srv.Shutdown(shutCtx)
+		if hub != nil {
+			hub.Close()
+		}
+		if wireSrv != nil {
+			if err := wireSrv.Shutdown(shutCtx); err != nil {
+				log.Printf("wire shutdown: %v", err)
+			}
+		}
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
 	}()
 	log.Printf("VAP listening on %s (ui at http://localhost%s/)", *addr, *addr)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatalf("serve: %v", err)
 	}
+	<-drained
+	log.Printf("shutdown complete")
 }
 
 // logRecovery prints the startup recovery breakdown — snapshot format,

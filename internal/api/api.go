@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"vap/internal/core"
+	"vap/internal/frontend"
 	"vap/internal/geo"
 	"vap/internal/govern"
 	"vap/internal/kde"
@@ -34,6 +35,7 @@ import (
 // ingest invalidates stale entries precisely.
 type Server struct {
 	an  *core.Analyzer
+	fc  *frontend.Core
 	hub *stream.Hub
 	cfg Config
 }
@@ -73,8 +75,17 @@ func NewServer(an *core.Analyzer, hub *stream.Hub) *Server {
 // NewServerWith returns a server with explicit front-door configuration.
 func NewServerWith(an *core.Analyzer, hub *stream.Hub, cfg Config) *Server {
 	cfg.defaults()
-	return &Server{an: an, hub: hub, cfg: cfg}
+	return &Server{an: an, fc: frontend.NewCore(an), hub: hub, cfg: cfg}
 }
+
+// Core exposes the protocol-agnostic query core the HTTP codec runs on —
+// the same instance a wire-protocol server over the same analyzer should
+// share.
+func (s *Server) Core() *frontend.Core { return s.fc }
+
+// HandlerTimeout returns the effective per-request handler timeout after
+// defaulting, so a co-hosted wire server can bound statements identically.
+func (s *Server) HandlerTimeout() time.Duration { return s.cfg.HandlerTimeout }
 
 // handlerCtx derives one request's working context: the tenant header
 // stamped for admission control, bounded by the configured handler
@@ -85,34 +96,12 @@ func (s *Server) handlerCtx(r *http.Request) (context.Context, context.CancelFun
 }
 
 // writeGovErr maps the admission controller's typed rejections onto the
-// HTTP taxonomy — *CostError to 422 (the query can never run unchanged),
-// *ShedError to 429 with Retry-After — and reports whether it handled err.
+// HTTP taxonomy — the classification itself lives in frontend.MapError,
+// shared with the wire server — and reports whether it handled err.
 func writeGovErr(w http.ResponseWriter, err error) bool {
-	var ce *govern.CostError
-	var se *govern.ShedError
-	switch {
-	case errors.As(err, &ce):
-		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
-			"error":            ce.Error(),
-			"tenant":           ce.Tenant,
-			"est_samples":      ce.Est,
-			"cost_ceiling":     ce.Ceiling,
-			"est_mem_bytes":    ce.EstMem,
-			"mem_budget_bytes": ce.MemBudget,
-		})
-		return true
-	case errors.As(err, &se):
-		sec := int(se.RetryAfter.Round(time.Second) / time.Second)
-		if sec < 1 {
-			sec = 1
-		}
-		w.Header().Set("Retry-After", strconv.Itoa(sec))
-		writeJSON(w, http.StatusTooManyRequests, map[string]any{
-			"error":           se.Error(),
-			"tenant":          se.Tenant,
-			"class":           string(se.Class),
-			"retry_after_sec": sec,
-		})
+	switch frontend.MapError(err).Kind {
+	case frontend.KindCost, frontend.KindShed:
+		writeStmtErr(w, err)
 		return true
 	}
 	return false

@@ -1,19 +1,24 @@
 package api
 
 import (
-	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
-	"vap/internal/vql"
+	"vap/internal/frontend"
 )
 
 // maxQueryBytes bounds a /api/query request body.
 const maxQueryBytes = 1 << 20
+
+// DeadlineHeader optionally tightens one request's statement deadline
+// (a Go duration, e.g. "500ms") below the configured handler timeout —
+// the HTTP spelling of the wire protocol's SET vap_deadline.
+const DeadlineHeader = "X-VAP-Deadline"
 
 // queryRequest is the JSON body of POST /api/query. A text/plain body is
 // also accepted and treated as the raw statement.
@@ -21,12 +26,44 @@ type queryRequest struct {
 	Query string `json:"query"`
 }
 
-// handleQuery executes one VQL statement: POST /api/query with
-// {"query": "SELECT ..."} (or the raw statement as text/plain). Responses
-// carry the rows, the EXPLAIN rendering of the executed plan, and the
-// data-version stamps (store-wide plus the selection-scoped fingerprint
-// the result was computed against). Parse and type errors return 400 with
-// the 1-based line/column of the offending token.
+// writeStmtErr renders one classified statement error. The taxonomy —
+// which error kind maps to which status — lives in frontend.MapError,
+// shared with the wire server's ERR-packet encoder; this function only
+// shapes the JSON body.
+func writeStmtErr(w http.ResponseWriter, err error) {
+	info := frontend.MapError(err)
+	body := map[string]any{"error": info.Msg}
+	switch info.Kind {
+	case frontend.KindParse:
+		body["line"] = info.Line
+		body["col"] = info.Col
+	case frontend.KindCost:
+		ce := info.Cost
+		body["tenant"] = ce.Tenant
+		body["est_samples"] = ce.Est
+		body["cost_ceiling"] = ce.Ceiling
+		body["est_mem_bytes"] = ce.EstMem
+		body["mem_budget_bytes"] = ce.MemBudget
+	case frontend.KindShed:
+		se := info.Shed
+		sec := int(info.RetryAfter / time.Second)
+		if sec < 1 {
+			sec = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(sec))
+		body["tenant"] = se.Tenant
+		body["class"] = string(se.Class)
+		body["retry_after_sec"] = sec
+	}
+	writeJSON(w, info.HTTPStatus, body)
+}
+
+// handleQuery is the HTTP codec over the frontend query core: it decodes
+// the statement from the request (JSON envelope or raw text), builds a
+// per-request session from the tenant and deadline headers, and encodes
+// the typed Result as JSON. The statement lifecycle — parse, plan,
+// governance admission, execution, error taxonomy — lives in
+// frontend.Core, shared verbatim with the MySQL wire server.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -55,36 +92,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		src = req.Query
 	}
-	if strings.TrimSpace(src) == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("api: empty query"))
-		return
+	sess := frontend.NewSession(r.Header.Get(TenantHeader))
+	if d := r.Header.Get(DeadlineHeader); d != "" {
+		if err := sess.Set("deadline", d); err != nil {
+			writeStmtErr(w, err)
+			return
+		}
 	}
-	ctx, cancel := s.handlerCtx(r)
-	defer cancel()
-	out, err := s.an.VQL(ctx, src)
+	out, err := s.fc.ExecuteTimeout(r.Context(), sess, src, s.cfg.HandlerTimeout)
 	if err != nil {
-		if writeGovErr(w, err) {
-			return // 422 cost rejection or 429 shed, typed
-		}
-		var ve *vql.Error
-		switch {
-		case errors.As(err, &ve):
-			// Parse/type errors are the client's fault; everything else
-			// (timeouts, store corruption) is the server's.
-			writeJSON(w, http.StatusBadRequest, map[string]any{
-				"error": ve.Error(),
-				"line":  ve.Pos.Line,
-				"col":   ve.Pos.Col,
-			})
-		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-			writeErr(w, http.StatusGatewayTimeout, err)
-		default:
-			writeErr(w, http.StatusInternalServerError, err)
-		}
+		writeStmtErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"columns":               out.Columns,
+		"column_types":          out.Types,
 		"rows":                  out.Rows,
 		"row_count":             len(out.Rows),
 		"window":                out.Window,

@@ -44,7 +44,7 @@ func (a *Analyzer) VQL(ctx context.Context, src string) (*VQLOutput, error) {
 	}
 	if p.Explain {
 		text := vql.ExplainString(p, a.eng)
-		res := &vql.Result{Columns: []string{"plan"}, Plan: text}
+		res := &vql.Result{Columns: []string{"plan"}, Types: []vql.ColType{vql.TypeString}, Plan: text}
 		for _, line := range splitLines(text) {
 			res.Rows = append(res.Rows, []any{line})
 		}

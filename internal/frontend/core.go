@@ -1,0 +1,96 @@
+// Package frontend is the protocol-agnostic front-door core: the full
+// statement lifecycle (parse → plan → governance admission → execute →
+// typed result → typed error taxonomy) extracted from the HTTP handlers
+// so every transport — the JSON REST codec, the MySQL wire-protocol
+// server, future gRPC — is a thin encoder over the same Core. Transports
+// own only bytes-on-the-wire concerns; tenancy, deadlines, admission, and
+// the error→status tables live here exactly once.
+package frontend
+
+import (
+	"context"
+	"strings"
+	"time"
+
+	"vap/internal/core"
+	"vap/internal/govern"
+	"vap/internal/vql"
+)
+
+// Result is the typed, transport-neutral outcome of one statement:
+// column names and types plus a row iterator over already-typed cells
+// (int64 | float64 | string | nil) — not pre-marshaled JSON. The HTTP
+// codec JSON-encodes rows; the wire server renders the text protocol from
+// the same cells, which is why the two transports return byte-identical
+// values for the same statement.
+type Result struct {
+	*core.VQLOutput
+}
+
+// ColumnTypes returns the per-column cell types, aligned with Columns.
+func (r *Result) ColumnTypes() []vql.ColType { return r.Types }
+
+// EachRow streams the result rows in output order, stopping at the first
+// error fn returns. Cells within a row are typed per ColumnTypes, with
+// nil for null aggregate cells.
+func (r *Result) EachRow(fn func(row []any) error) error {
+	for _, row := range r.Rows {
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Core owns the statement lifecycle over one analyzer. It is stateless
+// across statements (sessions carry the per-client state), so one Core is
+// shared by every transport and every connection.
+type Core struct {
+	an *core.Analyzer
+}
+
+// NewCore returns a query core over an analyzer.
+func NewCore(an *core.Analyzer) *Core { return &Core{an: an} }
+
+// Analyzer exposes the underlying analyzer for codecs that also serve
+// non-statement endpoints (stats, ingest, views).
+func (c *Core) Analyzer() *core.Analyzer { return c.an }
+
+// Gov exposes the admission controller (the wire server's per-connection
+// admission hook calls it before the first statement).
+func (c *Core) Gov() *govern.Controller { return c.an.Gov() }
+
+// Execute runs one statement for sess: it stamps the tenant for
+// admission, applies the session's statement deadline (tightening, never
+// widening, whatever bound ctx already carries), counts the statement,
+// and delegates parse → plan → admission → execution to the analyzer.
+// Every returned error classifies through MapError.
+func (c *Core) Execute(ctx context.Context, sess *Session, src string) (*Result, error) {
+	sess.NextStmt()
+	if strings.TrimSpace(src) == "" {
+		return nil, &Error{Kind: KindBadRequest, Msg: "frontend: empty statement", MyErrno: MyErrEmptyQuery}
+	}
+	ctx = govern.WithTenant(ctx, sess.Tenant())
+	if d := sess.Deadline(); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	out, err := c.an.VQL(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{VQLOutput: out}, nil
+}
+
+// ExecuteTimeout is Execute bounded by an overall transport timeout —
+// the shared shape of "a handler/command gets at most d, sessions may
+// tighten it".
+func (c *Core) ExecuteTimeout(ctx context.Context, sess *Session, src string, d time.Duration) (*Result, error) {
+	if d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	return c.Execute(ctx, sess, src)
+}

@@ -53,6 +53,10 @@ const (
 	// ClassAnalytics: expensive scans. Admitted last, shed first, and
 	// paced while interactive work is in flight.
 	ClassAnalytics Class = "analytics"
+	// ClassConn marks connection-admission rejections (the wire
+	// protocol's max-connections gate); it never enters the statement
+	// queue.
+	ClassConn Class = "connection"
 )
 
 // classRank orders classes for the admission queue and the shedding
@@ -114,6 +118,12 @@ type Config struct {
 	// with an execution deadline enforced by the executor's per-batch
 	// cancellation checks (0 = only the front door's handler timeout).
 	QueryDeadline time.Duration
+	// MaxConns bounds concurrently open long-lived client connections
+	// (the wire-protocol front door calls ConnOpen per accepted
+	// connection, before any handshake crypto, so a connection flood is
+	// bounded up front). <= 0 means unlimited — the HTTP front door
+	// bounds connections with its own server timeouts.
+	MaxConns int
 }
 
 func (c *Config) defaults() {
@@ -207,6 +217,10 @@ type tenantState struct {
 	admitted, queued, shed, rejected uint64
 	waitHist                         [6]uint64
 	maxWait                          time.Duration
+
+	// conns is the tenant's open wire-protocol connections (bound post-
+	// auth via ConnBind); connShed counts rejected connection attempts.
+	conns int
 }
 
 // waiter is one queued admission request.
@@ -265,6 +279,8 @@ type Controller struct {
 	activeMem int64
 	tenants   map[string]*tenantState
 	queue     waitHeap
+	conns     int
+	connsShed uint64
 
 	// pressure counts interactive requests admitted or queued — the
 	// lock-free signal analytics grants pace on.
@@ -508,6 +524,56 @@ func (c *Controller) dispatchLocked() {
 	}
 }
 
+// ConnOpen is the per-connection admission hook for long-lived
+// transports: the wire server calls it for every accepted TCP connection
+// BEFORE the handshake, so a connection flood is shed without spending
+// any scramble/auth work. It returns a release func the connection's
+// goroutine must call exactly once on close, or a *ShedError (class
+// "connection") when Config.MaxConns connections are already open.
+func (c *Controller) ConnOpen() (func(), error) {
+	c.mu.Lock()
+	if c.cfg.MaxConns > 0 && c.conns >= c.cfg.MaxConns {
+		c.connsShed++
+		c.mu.Unlock()
+		return nil, &ShedError{
+			Tenant: DefaultTenant, Class: ClassConn,
+			Reason:     fmt.Sprintf("connection limit %d reached", c.cfg.MaxConns),
+			RetryAfter: c.cfg.RetryAfter,
+		}
+	}
+	c.conns++
+	c.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.mu.Lock()
+			c.conns--
+			c.mu.Unlock()
+		})
+	}, nil
+}
+
+// ConnBind attributes an admitted connection to its authenticated tenant
+// (ConnOpen runs pre-auth, when the tenant is unknown). The returned
+// unbind func decrements the tenant's gauge; like ConnOpen's release it
+// must be called exactly once and is idempotent.
+func (c *Controller) ConnBind(tenant string) func() {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	c.mu.Lock()
+	c.tenantLocked(tenant).conns++
+	c.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.mu.Lock()
+			c.tenantLocked(tenant).conns--
+			c.mu.Unlock()
+		})
+	}
+}
+
 // Grant is one admitted request's reservation. Release returns its
 // concurrency slot and memory reservation; it is idempotent and must be
 // called when the work finishes (success or failure).
@@ -587,6 +653,7 @@ type TenantSnapshot struct {
 	ActiveMemBytes int64             `json:"active_mem_bytes"`
 	MaxWaitMS      int64             `json:"max_wait_ms"`
 	QueueWaitHist  map[string]uint64 `json:"queue_wait_hist"`
+	OpenConns      int               `json:"open_conns"`
 }
 
 // Snapshot is the controller's observable state, shaped for /api/stats.
@@ -597,6 +664,9 @@ type Snapshot struct {
 	ActiveMemBytes int64                     `json:"active_mem_bytes"`
 	QueueDepth     int                       `json:"queue_depth"`
 	Interactive    int64                     `json:"interactive_in_flight"`
+	OpenConns      int                       `json:"open_conns"`
+	MaxConns       int                       `json:"max_conns"`
+	ConnsShed      uint64                    `json:"conns_shed"`
 	Tenants        map[string]TenantSnapshot `json:"tenants"`
 }
 
@@ -611,6 +681,9 @@ func (c *Controller) Snapshot() Snapshot {
 		ActiveMemBytes: c.activeMem,
 		QueueDepth:     len(c.queue),
 		Interactive:    c.pressure.Load(),
+		OpenConns:      c.conns,
+		MaxConns:       c.cfg.MaxConns,
+		ConnsShed:      c.connsShed,
 		Tenants:        make(map[string]TenantSnapshot, len(c.tenants)),
 	}
 	for name, ts := range c.tenants {
@@ -627,6 +700,7 @@ func (c *Controller) Snapshot() Snapshot {
 			ActiveMemBytes: ts.activeMem,
 			MaxWaitMS:      ts.maxWait.Milliseconds(),
 			QueueWaitHist:  hist,
+			OpenConns:      ts.conns,
 		}
 	}
 	return out

@@ -71,10 +71,11 @@ type DensitySummary struct {
 // Hub broadcasts events to any number of subscribers. Slow subscribers
 // drop events rather than blocking the replayer.
 type Hub struct {
-	mu   sync.Mutex
-	subs map[chan Event]struct{}
-	last Event
-	has  bool
+	mu     sync.Mutex
+	subs   map[chan Event]struct{}
+	last   Event
+	has    bool
+	closed bool
 }
 
 // NewHub returns an empty hub.
@@ -85,6 +86,11 @@ func NewHub() *Hub { return &Hub{subs: make(map[chan Event]struct{})} }
 func (h *Hub) Subscribe() (<-chan Event, func()) {
 	ch := make(chan Event, 16)
 	h.mu.Lock()
+	if h.closed {
+		close(ch)
+		h.mu.Unlock()
+		return ch, func() {}
+	}
 	h.subs[ch] = struct{}{}
 	if h.has {
 		ch <- h.last
@@ -100,9 +106,30 @@ func (h *Hub) Subscribe() (<-chan Event, func()) {
 	}
 }
 
+// Close shuts the hub down for server drain: every subscriber channel
+// closes (so blocked SSE handlers return and the HTTP server can finish
+// draining), later Subscribe calls get an already-closed channel, and
+// Publish becomes a no-op. Idempotent.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		delete(h.subs, ch)
+		close(ch)
+	}
+}
+
 // Publish fans an event out; full subscriber buffers drop it.
 func (h *Hub) Publish(e Event) {
 	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
 	h.last = e
 	h.has = true
 	for ch := range h.subs {

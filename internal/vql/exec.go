@@ -40,12 +40,13 @@ func geoBox(pr BBoxPred) geo.BBox {
 // value (stored NaN/±Inf, overflow) surface as null — every cell is
 // JSON-encodable.
 type Result struct {
-	Columns []string `json:"columns"`
-	Rows    [][]any  `json:"rows"`
-	Window  [2]int64 `json:"window"`  // resolved half-open scan window
-	Meters  int      `json:"meters"`  // meters scanned
-	Samples int      `json:"samples"` // samples aggregated
-	Plan    string   `json:"plan"`    // EXPLAIN rendering of the plan
+	Columns []string  `json:"columns"`
+	Types   []ColType `json:"types"` // cell types aligned with Columns
+	Rows    [][]any   `json:"rows"`
+	Window  [2]int64  `json:"window"`  // resolved half-open scan window
+	Meters  int       `json:"meters"`  // meters scanned
+	Samples int       `json:"samples"` // samples aggregated
+	Plan    string    `json:"plan"`    // EXPLAIN rendering of the plan
 	// Fingerprint is the selection-scoped data version of exactly the
 	// state the rows were computed from: the commutative combination of
 	// the per-meter versions each scan observed at iterator-snapshot time.
@@ -288,7 +289,7 @@ func ResolveScanMeters(eng *query.Engine, p *Plan) ([]int64, error) {
 // found by scanning the sorted timestamp array — the kernels never
 // truncate or hash per sample.
 func ExecuteResolved(ctx context.Context, eng *query.Engine, p *Plan, ids []int64, from, to int64, windowOK bool) (*Result, error) {
-	res := &Result{Columns: make([]string, len(p.Cols)), Rows: [][]any{}}
+	res := &Result{Columns: make([]string, len(p.Cols)), Types: p.ColumnTypes(), Rows: [][]any{}}
 	for i, c := range p.Cols {
 		res.Columns[i] = c.Name
 	}
@@ -865,7 +866,7 @@ func (sc *scanConfig) foldEdge(ctx context.Context, it *store.SeriesIter, batch 
 // ExecuteResolved (including float summation order) except for the Plan
 // rendering, which reflects the scalar pipeline.
 func ExecuteResolvedScalar(ctx context.Context, eng *query.Engine, p *Plan, ids []int64, from, to int64, windowOK bool) (*Result, error) {
-	res := &Result{Columns: make([]string, len(p.Cols)), Rows: [][]any{}}
+	res := &Result{Columns: make([]string, len(p.Cols)), Types: p.ColumnTypes(), Rows: [][]any{}}
 	for i, c := range p.Cols {
 		res.Columns[i] = c.Name
 	}

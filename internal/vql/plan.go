@@ -10,6 +10,49 @@ import (
 	"vap/internal/store"
 )
 
+// ColType is the transport-independent type of one output column's
+// cells. Transports map it onto their own encodings (JSON numbers, MySQL
+// text-protocol column definitions) without sniffing row values.
+type ColType string
+
+const (
+	// TypeInt64 cells are int64: meter ids and count aggregates.
+	TypeInt64 ColType = "int64"
+	// TypeTime cells are int64 Unix seconds: bucket() group keys. Kept
+	// distinct from TypeInt64 so a transport may render timestamps
+	// natively; the canonical cell value is still the integer.
+	TypeTime ColType = "time"
+	// TypeFloat64 cells are float64 or nil (empty-group / all-NaN
+	// aggregates): sum, mean, min, max.
+	TypeFloat64 ColType = "float64"
+	// TypeString cells are strings: zone group keys.
+	TypeString ColType = "string"
+)
+
+// ColumnTypes returns the plan's output column types, aligned with
+// Result.Columns.
+func (p *Plan) ColumnTypes() []ColType {
+	types := make([]ColType, len(p.Cols))
+	for i, c := range p.Cols {
+		switch {
+		case c.IsKey:
+			switch p.Keys[c.Key].Kind {
+			case KeyBucket:
+				types[i] = TypeTime
+			case KeyMeter:
+				types[i] = TypeInt64
+			default:
+				types[i] = TypeString
+			}
+		case c.Agg == AggCount || c.Agg == AggCountValue:
+			types[i] = TypeInt64
+		default:
+			types[i] = TypeFloat64
+		}
+	}
+	return types
+}
+
 // Column is one typed output column of a plan.
 type Column struct {
 	Name  string // alias or canonical expression text

@@ -1,0 +1,143 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+
+	"vap/internal/frontend"
+	"vap/internal/vql"
+)
+
+// MySQL column type bytes for the column definition packets.
+const (
+	mysqlTypeDouble    = 0x05
+	mysqlTypeLongLong  = 0x08
+	mysqlTypeVarString = 0xfd
+)
+
+// charsetBinary is charset id 63, used for numeric columns.
+const charsetBinary = 63
+
+// colDef is the wire shape of one column: the MySQL type byte, the
+// column charset, and a display length.
+type colDef struct {
+	mysqlType byte
+	charset   uint16
+	length    uint32
+}
+
+// colDefFor maps a frontend column type to its wire definition. Bucket
+// timestamps (TypeTime) stay 64-bit integers on the wire — exactly the
+// value the HTTP codec returns — so the two transports' rows are
+// byte-for-byte comparable.
+func colDefFor(t vql.ColType) colDef {
+	switch t {
+	case vql.TypeInt64, vql.TypeTime:
+		return colDef{mysqlType: mysqlTypeLongLong, charset: charsetBinary, length: 20}
+	case vql.TypeFloat64:
+		return colDef{mysqlType: mysqlTypeDouble, charset: charsetBinary, length: 22}
+	default:
+		return colDef{mysqlType: mysqlTypeVarString, charset: charsetUTF8, length: 1024}
+	}
+}
+
+// buildColumnDef builds a Column Definition 41 payload.
+func buildColumnDef(name string, t vql.ColType) []byte {
+	def := colDefFor(t)
+	b := appendLenencString(nil, "def")              // catalog
+	b = appendLenencString(b, frontend.DatabaseName) // schema
+	b = appendLenencString(b, "result")              // table
+	b = appendLenencString(b, "result")              // org_table
+	b = appendLenencString(b, name)                  // name
+	b = appendLenencString(b, name)                  // org_name
+	b = append(b, 0x0c)                              // fixed-length fields length
+	b = binary.LittleEndian.AppendUint16(b, def.charset)
+	b = binary.LittleEndian.AppendUint32(b, def.length)
+	b = append(b, def.mysqlType)
+	b = append(b, 0x00, 0x00) // flags
+	b = append(b, 0x1f)       // decimals (31 = dynamic)
+	b = append(b, 0x00, 0x00) // filler
+	return b
+}
+
+// renderCell renders one typed result cell as its text-protocol string.
+// The encodings match what the JSON codec emits for the same cell, so a
+// wire client and an HTTP client see identical values.
+func renderCell(cell any) (string, bool, error) {
+	switch v := cell.(type) {
+	case nil:
+		return "", true, nil
+	case int64:
+		return strconv.FormatInt(v, 10), false, nil
+	case float64:
+		return strconv.FormatFloat(v, 'g', -1, 64), false, nil
+	case string:
+		return v, false, nil
+	default:
+		return "", false, fmt.Errorf("wire: unsupported cell type %T", cell)
+	}
+}
+
+// buildRow builds a text-protocol row payload from typed cells.
+func buildRow(row []any) ([]byte, error) {
+	var b []byte
+	for _, cell := range row {
+		s, isNull, err := renderCell(cell)
+		if err != nil {
+			return nil, err
+		}
+		if isNull {
+			b = append(b, nullCell)
+			continue
+		}
+		b = appendLenencString(b, s)
+	}
+	return b, nil
+}
+
+// writeResultSet writes a complete classic-protocol text result set:
+// column count, column definitions, EOF, rows, EOF. seq is the first
+// sequence id to use; the last sequence id used is returned so callers
+// continue numbering correctly.
+func writeResultSet(w pktWriter, seq uint8, cols []string, types []vql.ColType, rows [][]any) (uint8, error) {
+	if err := w.writePacket(seq, appendLenencInt(nil, uint64(len(cols)))); err != nil {
+		return seq, err
+	}
+	for i, name := range cols {
+		t := vql.TypeString
+		if i < len(types) {
+			t = types[i]
+		}
+		seq++
+		if err := w.writePacket(seq, buildColumnDef(name, t)); err != nil {
+			return seq, err
+		}
+	}
+	seq++
+	if err := w.writePacket(seq, buildEOF()); err != nil {
+		return seq, err
+	}
+	for _, row := range rows {
+		payload, err := buildRow(row)
+		if err != nil {
+			return seq, err
+		}
+		seq++
+		if err := w.writePacket(seq, payload); err != nil {
+			return seq, err
+		}
+	}
+	seq++
+	if err := w.writePacket(seq, buildEOF()); err != nil {
+		return seq, err
+	}
+	return seq, nil
+}
+
+// pktWriter is the minimal packet sink writeResultSet needs — the
+// server's per-connection locked writer implements it, and tests can
+// substitute an in-memory recorder.
+type pktWriter interface {
+	writePacket(seq uint8, payload []byte) error
+}

@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// User is one wire-protocol login: a username/password pair mapped to
+// the governance tenant its statements bill against. The username is the
+// MySQL identity; the tenant is the VAP identity — several users may
+// share one tenant.
+type User struct {
+	Name     string
+	Password string
+	Tenant   string
+}
+
+// Users maps username → credentials+tenant for the wire server's auth
+// step. The zero value rejects everyone; DefaultUsers allows a single
+// password-less "vap" login on the default tenant for local development.
+type Users map[string]User
+
+// DefaultUsers is the user table when no -mysql-users file is given: one
+// password-less "vap" user on the default (empty) tenant, mirroring the
+// HTTP transport's open default.
+func DefaultUsers() Users {
+	return Users{"vap": {Name: "vap"}}
+}
+
+// ParseUsers parses a user file: one "username:password:tenant" triple
+// per line, '#' comments and blank lines ignored. Password and tenant
+// may be empty ("alice::" is a password-less user on the default
+// tenant). Usernames must be unique.
+func ParseUsers(r *bufio.Scanner) (Users, error) {
+	users := make(Users)
+	line := 0
+	for r.Scan() {
+		line++
+		text := strings.TrimSpace(r.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.SplitN(text, ":", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("wire: users line %d: want username:password:tenant, got %q", line, text)
+		}
+		name := strings.TrimSpace(parts[0])
+		if name == "" {
+			return nil, fmt.Errorf("wire: users line %d: empty username", line)
+		}
+		if _, dup := users[name]; dup {
+			return nil, fmt.Errorf("wire: users line %d: duplicate user %q", line, name)
+		}
+		users[name] = User{Name: name, Password: parts[1], Tenant: strings.TrimSpace(parts[2])}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return users, nil
+}
+
+// LoadUsers reads a user file from disk. An empty path returns
+// DefaultUsers.
+func LoadUsers(path string) (Users, error) {
+	if path == "" {
+		return DefaultUsers(), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	users, err := ParseUsers(bufio.NewScanner(f))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(users) == 0 {
+		return nil, fmt.Errorf("wire: users file %s defines no users", path)
+	}
+	return users, nil
+}

@@ -16,7 +16,10 @@
 // derived.recover_speedup, the ≥4× cold-start recovery floor, and the
 // paired GovernMixed/Unloaded and GovernMixed/Loaded benchmarks record
 // derived.govern_cheap_p99_ms plus derived.govern_tail_ratio, the ≤5×
-// cheap-query tail-latency bound governance must hold under load.
+// cheap-query tail-latency bound governance must hold under load, and the
+// paired WireQuery/Wire and WireQuery/HTTP benchmarks record
+// derived.wire_overhead_ratio — the MySQL wire transport's per-round-trip
+// cost relative to the HTTP JSON codec over the same warmed core.
 //
 // A trajectory file carries a series name (-series, default "vql") so
 // different artifact files (BENCH_vql.json, BENCH_rollup.json) stay
@@ -32,6 +35,8 @@
 //	    go run ./tools/benchjson -series recover -out BENCH_recover.json -label "my change"
 //	go test -run XXX -bench GovernMixed -benchtime 1000x . |
 //	    go run ./tools/benchjson -series govern -out BENCH_govern.json -label "my change"
+//	go test -run XXX -bench WireQuery -count=3 . |
+//	    go run ./tools/benchjson -series wire -out BENCH_wire.json -label "my change"
 package main
 
 import (
@@ -146,6 +151,14 @@ func parse(r *bufio.Scanner) (run, error) {
 		}
 		out.Derived["recover_speedup"] = round2(v2s["ns_per_op"] / v3p["ns_per_op"])
 	}
+	wir, okW := out.Benchmarks["WireQuery/Wire"]
+	htp, okH := out.Benchmarks["WireQuery/HTTP"]
+	if okW && okH && htp["ns_per_op"] > 0 {
+		if out.Derived == nil {
+			out.Derived = map[string]float64{}
+		}
+		out.Derived["wire_overhead_ratio"] = round2(wir["ns_per_op"] / htp["ns_per_op"])
+	}
 	unl, okU := out.Benchmarks["GovernMixed/Unloaded"]
 	lod, okL := out.Benchmarks["GovernMixed/Loaded"]
 	if okU && okL && unl["p99_ms"] > 0 {
@@ -221,6 +234,9 @@ func main() {
 	}
 	if d := entry.Derived["govern_tail_ratio"]; d != 0 {
 		note += fmt.Sprintf(" (govern_tail_ratio %.2fx)", d)
+	}
+	if d := entry.Derived["wire_overhead_ratio"]; d != 0 {
+		note += fmt.Sprintf(" (wire_overhead_ratio %.2fx)", d)
 	}
 	fmt.Printf("recorded %d benchmarks to %s%s\n", len(entry.Benchmarks), *outPath, note)
 }

@@ -38,6 +38,7 @@ import (
 	"vap/internal/api"
 	"vap/internal/core"
 	"vap/internal/exec"
+	"vap/internal/frontend"
 	"vap/internal/gen"
 	"vap/internal/geo"
 	"vap/internal/govern"
@@ -45,6 +46,7 @@ import (
 	"vap/internal/reduce"
 	"vap/internal/store"
 	"vap/internal/stream"
+	"vap/internal/wire"
 )
 
 // --- Data layer -------------------------------------------------------------
@@ -273,3 +275,50 @@ func NewStreamHub() *StreamHub { return stream.NewHub() }
 func NewHTTPServer(an *Analyzer, hub *StreamHub) http.Handler {
 	return api.NewServer(an, hub).Routes()
 }
+
+// --- Protocol-agnostic frontend core ---------------------------------------
+
+// Session is one client conversation with the query core — tenant
+// identity, per-session variables (deadline, format), statement counter
+// — independent of the transport carrying it.
+type Session = frontend.Session
+
+// NewFrontendSession returns a session for a tenant (empty = default).
+func NewFrontendSession(tenant string) *Session { return frontend.NewSession(tenant) }
+
+// QueryCore owns the transport-neutral statement lifecycle: parse →
+// plan → governance admission → execute → typed result → typed error
+// taxonomy. The HTTP codec and the MySQL wire server are thin encoders
+// over the same core.
+type QueryCore = frontend.Core
+
+// NewQueryCore returns a query core over an analyzer.
+func NewQueryCore(an *Analyzer) *QueryCore { return frontend.NewCore(an) }
+
+// StatementError classifies one statement failure identically for every
+// transport (HTTP status, MySQL errno/SQLSTATE, retry hints).
+type StatementError = frontend.Info
+
+// MapStatementError classifies any statement error into the shared
+// taxonomy — the single error→status table both transports render from.
+func MapStatementError(err error) StatementError { return frontend.MapError(err) }
+
+// --- MySQL wire-protocol server ---------------------------------------------
+
+// WireConfig configures the MySQL wire-protocol server (listen address,
+// user→tenant auth table, shared query core, timeouts).
+type WireConfig = wire.Config
+
+// WireServer serves the MySQL client/server protocol over a QueryCore:
+// handshake v10, mysql_native_password auth, COM_QUERY text result sets.
+type WireServer = wire.Server
+
+// WireUsers maps wire usernames to credentials and governance tenants.
+type WireUsers = wire.Users
+
+// NewWireServer returns a wire server for cfg (cfg.Core is required).
+func NewWireServer(cfg WireConfig) (*WireServer, error) { return wire.NewServer(cfg) }
+
+// LoadWireUsers reads a username:password:tenant user file (empty path =
+// a single password-less "vap" user on the default tenant).
+func LoadWireUsers(path string) (WireUsers, error) { return wire.LoadUsers(path) }
